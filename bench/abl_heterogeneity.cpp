@@ -1,0 +1,100 @@
+// Ablation: "the system can handle ARBITRARY amounts of heterogeneity
+// in server capability and workload" (paper §8).
+//
+// Two sweeps, everything else at paper defaults:
+//   workload skew  - file-set weights span 10^0 .. 10^D decades;
+//   server ratio   - five servers with speeds 1..R (geometric).
+// For each point: ANU vs round-robin converged worst-server latency.
+// The claim reproduces if ANU's worst tail stays flat while the
+// heterogeneity-blind baseline degrades with either axis.
+#include <cmath>
+#include <iostream>
+
+#include "bench_support.h"
+#include "metrics/emit.h"
+#include "policies/anu_policy.h"
+#include "policies/round_robin.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace anufs;
+
+struct Point {
+  double anu_tail;
+  double rr_tail;
+  std::uint64_t anu_moves;
+};
+
+Point run_point(const cluster::ClusterConfig& cc,
+                const workload::Workload& work) {
+  const auto tail_of = [](const cluster::RunResult& r) {
+    double worst = 0.0;
+    for (const std::string& label : r.latency_ms.labels()) {
+      worst = std::max(worst, r.latency_ms.at(label).tail_mean(0.5));
+    }
+    return worst;
+  };
+  policy::AnuPolicy anu{core::AnuConfig{}};
+  cluster::ClusterSim anu_sim(cc, work, anu);
+  const cluster::RunResult anu_result = anu_sim.run();
+  policy::RoundRobinPolicy rr;
+  cluster::ClusterSim rr_sim(cc, work, rr);
+  const cluster::RunResult rr_result = rr_sim.run();
+  return Point{tail_of(anu_result), tail_of(rr_result), anu_result.moves};
+}
+
+}  // namespace
+
+int main() {
+  metrics::TableEmitter table(
+      std::cout, {"axis", "value", "anu_tail_ms", "rr_tail_ms",
+                  "anu_moves"});
+  table.header(
+      "Ablation: heterogeneity sweeps — converged worst-server latency, "
+      "ANU vs round-robin");
+
+  // Sweep 1: workload skew (weight decades), paper servers.
+  for (const double decades : {0.0, 1.0, 2.0, 3.0}) {
+    workload::SyntheticConfig wc;
+    wc.weight_hi_exp = decades;
+    const workload::Workload work = workload::make_synthetic(wc);
+    const Point p = run_point(bench::paper_cluster(), work);
+    table.row({"skew_decades", metrics::TableEmitter::num(decades, 0),
+               metrics::TableEmitter::num(p.anu_tail, 2),
+               metrics::TableEmitter::num(p.rr_tail, 2),
+               std::to_string(p.anu_moves)});
+  }
+
+  // Sweep 2: server speed ratio 1..R (geometric across five servers),
+  // paper workload; total capacity normalized to 25 so load stays equal.
+  for (const double ratio : {1.0, 4.0, 9.0, 16.0, 64.0}) {
+    cluster::ClusterConfig cc = bench::paper_cluster();
+    cc.server_speeds.clear();
+    double sum = 0.0;
+    std::vector<double> raw;
+    for (int i = 0; i < 5; ++i) {
+      raw.push_back(std::pow(ratio, i / 4.0));
+      sum += raw.back();
+    }
+    for (const double s : raw) cc.server_speeds.push_back(s * 25.0 / sum);
+    const workload::Workload work =
+        workload::make_synthetic(workload::SyntheticConfig{});
+    const Point p = run_point(cc, work);
+    table.row({"speed_ratio", metrics::TableEmitter::num(ratio, 0),
+               metrics::TableEmitter::num(p.anu_tail, 2),
+               metrics::TableEmitter::num(p.rr_tail, 2),
+               std::to_string(p.anu_moves)});
+  }
+  std::cout << "# expected: rr_tail grows along both axes while anu_tail\n"
+               "# stays in the same band (the paper's 'arbitrary\n"
+               "# heterogeneity' claim) — EXCEPT at speed_ratio=1:\n"
+               "# with perfectly uniform servers and heterogeneous\n"
+               "# per-request demands, a file set of expensive requests\n"
+               "# is above the latency band on EVERY server, so\n"
+               "# latency-band tuning hot-potatoes it and pays movement\n"
+               "# costs for nothing. On uniform hardware, a static\n"
+               "# policy is the right choice — adaptivity buys nothing\n"
+               "# there by definition.\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Shared harness for the figure benches: constructs the paper's cluster,
+// instantiates a policy by name, runs the simulation, and emits series.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cluster/cluster_sim.h"
+#include "policies/policy.h"
+#include "workload/spec.h"
+
+namespace anufs::bench {
+
+/// The paper's five-server cluster: relative powers 1, 3, 5, 7, 9,
+/// two-minute reconfiguration period.
+[[nodiscard]] cluster::ClusterConfig paper_cluster();
+
+/// Policy factory. Names: "simple-random", "round-robin", "prescient",
+/// "anu". Prescient receives perfect knowledge of `cluster` speeds and
+/// of `work`; `stationary_prescient` selects its whole-trace mode (used
+/// for the stationary synthetic workload, where the paper's prescient
+/// "retains the same configuration for the duration").
+[[nodiscard]] std::unique_ptr<policy::PlacementPolicy> make_policy(
+    const std::string& name, const cluster::ClusterConfig& cluster,
+    const workload::Workload& work, bool stationary_prescient);
+
+/// Run one policy over the workload and return its results.
+[[nodiscard]] cluster::RunResult run_policy(
+    const std::string& name, const cluster::ClusterConfig& cluster,
+    const workload::Workload& work, bool stationary_prescient = false);
+
+/// ANU variants for the over-tuning study (Figures 10-11).
+[[nodiscard]] cluster::RunResult run_anu_variant(
+    const cluster::ClusterConfig& cluster, const workload::Workload& work,
+    bool thresholding, bool top_off, bool divergent);
+
+}  // namespace anufs::bench

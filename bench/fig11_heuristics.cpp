@@ -1,0 +1,44 @@
+// Figure 11: decomposing the three over-tuning heuristics — each graph
+// shows the effect of using ONLY one of the policies.
+//
+// Expected shape (paper Section 7):
+//  (a) thresholding-only stabilizes most servers but the weakest still
+//      fluctuates above and below the threshold;
+//  (b) top-off-only is the single most effective policy — it tunes the
+//      weakest server down to no workload;
+//  (c) divergent-only reaches balance, but more slowly than all three
+//      policies combined.
+#include <iostream>
+
+#include "bench_support.h"
+#include "metrics/emit.h"
+#include "workload/synthetic.h"
+
+int main() {
+  using namespace anufs;
+  const workload::Workload work =
+      workload::make_synthetic(workload::SyntheticConfig{});
+  std::cout << "# Figure 11 reproduction: one heuristic at a time, "
+               "synthetic workload\n";
+
+  struct Variant {
+    const char* label;
+    bool thresholding, top_off, divergent;
+  };
+  const Variant variants[] = {
+      {"Fig11a thresholding-only", true, false, false},
+      {"Fig11b top-off-only", false, true, false},
+      {"Fig11c divergent-only", false, false, true},
+  };
+  for (const Variant& v : variants) {
+    const cluster::RunResult result =
+        bench::run_anu_variant(bench::paper_cluster(), work, v.thresholding,
+                               v.top_off, v.divergent);
+    metrics::emit_bundle(
+        std::cout, std::string(v.label) + " per-server latency (ms)",
+        result.latency_ms);
+    std::cout << "# " << v.label << ": moves " << result.moves
+              << ", run-mean " << result.mean_latency * 1e3 << " ms\n\n";
+  }
+  return 0;
+}

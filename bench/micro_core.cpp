@@ -1,0 +1,91 @@
+// Microbenchmarks (google-benchmark) for the mechanism costs the paper
+// argues are negligible: hashing, probe-based lookup ("a hash probe does
+// no I/O ... successive hash probes incur negligible costs"), the
+// delegate's retune step, and region reshaping / re-partitioning.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/anu_system.h"
+#include "core/tuner.h"
+#include "hash/hash_family.h"
+#include "sim/random.h"
+
+namespace {
+
+using namespace anufs;
+
+void BM_HashProbe(benchmark::State& state) {
+  const hash::HashFamily family;
+  std::uint64_t fp = 0x12345678ULL;
+  std::uint32_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(family.probe(fp++, round++ & 15u));
+  }
+}
+BENCHMARK(BM_HashProbe);
+
+void BM_Locate(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::vector<ServerId> servers;
+  for (std::uint32_t i = 0; i < n; ++i) servers.push_back(ServerId{i});
+  const core::AnuSystem system{core::AnuConfig{}, servers};
+  sim::Xoshiro256 rng{123};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.locate(rng()));
+  }
+}
+BENCHMARK(BM_Locate)->Arg(5)->Arg(64)->Arg(512);
+
+void BM_Retune(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::vector<ServerId> servers;
+  for (std::uint32_t i = 0; i < n; ++i) servers.push_back(ServerId{i});
+  core::AnuSystem system{core::AnuConfig{}, servers};
+  sim::Xoshiro256 rng{5};
+  std::vector<core::ServerReport> reports;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    reports.push_back(core::ServerReport{
+        ServerId{i}, 0.01 + 0.05 * rng.next_double(), 100 + i});
+  }
+  core::LatencyTuner tuner{core::TunerConfig{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tuner.retune(reports, system.regions()));
+  }
+}
+BENCHMARK(BM_Retune)->Arg(5)->Arg(64)->Arg(512);
+
+void BM_Rebalance(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::vector<ServerId> servers;
+  for (std::uint32_t i = 0; i < n; ++i) servers.push_back(ServerId{i});
+  core::AnuSystem system{core::AnuConfig{}, servers};
+  sim::Xoshiro256 rng{6};
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    std::vector<core::ServerReport> reports;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      reports.push_back(core::ServerReport{
+          ServerId{i}, 0.01 + 0.05 * rng.next_double(), 100 + round});
+    }
+    benchmark::DoNotOptimize(system.reconfigure(reports));
+    ++round;
+  }
+}
+BENCHMARK(BM_Rebalance)->Arg(5)->Arg(64);
+
+void BM_MembershipChurn(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::vector<ServerId> servers;
+  for (std::uint32_t i = 0; i < n; ++i) servers.push_back(ServerId{i});
+  core::AnuSystem system{core::AnuConfig{}, servers};
+  for (auto _ : state) {
+    system.fail_server(ServerId{0});
+    system.add_server(ServerId{0});
+  }
+}
+BENCHMARK(BM_MembershipChurn)->Arg(5)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Table I (full-stack validation): parametric demand model vs
+// EXECUTING servers.
+//
+// The same typed op workload is run twice per policy: once with
+// precomputed demands (the parametric model every other bench uses),
+// and once with servers that actually execute each operation against
+// live journaled namespaces — real flush costs at moves, real recovery
+// replay after a mid-run crash of the fastest server, real lost
+// updates. If the parametric model is a faithful stand-in, the two
+// columns agree; the persistence counters quantify what the full stack
+// actually did.
+#include <iostream>
+
+#include "bench_support.h"
+#include "cluster/fsmeta_backing.h"
+#include "metrics/emit.h"
+#include "workload/op_workload.h"
+
+int main() {
+  using namespace anufs;
+  workload::OpWorkloadConfig config;
+  config.file_sets = 100;
+  config.total_ops = 50'000;
+  config.duration = 6'000.0;
+  const workload::OpWorkloadResult generated =
+      workload::make_op_workload(config);
+  std::cout << "# typed workload: " << generated.workload.request_count()
+            << " ops over " << config.file_sets
+            << " journaled namespaces; server4 crashes at t=3000s\n";
+
+  metrics::TableEmitter table(
+      std::cout, {"policy", "parametric_ms", "executing_ms", "flushes",
+                  "recoveries", "lost_updates", "checkpoints"});
+  table.header(
+      "Table I: parametric vs executing-server mode (run-mean latency)");
+
+  for (const char* name : {"round-robin", "anu"}) {
+    const auto run_parametric = [&] {
+      const std::unique_ptr<policy::PlacementPolicy> pol =
+          bench::make_policy(name, bench::paper_cluster(),
+                             generated.workload, true);
+      cluster::ClusterSim sim(bench::paper_cluster(), generated.workload,
+                              *pol);
+      sim.schedule_failure(3000.0, ServerId{4});
+      return sim.run();
+    };
+    const cluster::RunResult parametric = run_parametric();
+
+    cluster::FsmetaBacking backing(generated);
+    const std::unique_ptr<policy::PlacementPolicy> pol =
+        bench::make_policy(name, bench::paper_cluster(), generated.workload,
+                           true);
+    cluster::ClusterSim sim(bench::paper_cluster(), generated.workload,
+                            *pol);
+    sim.attach_backing(backing);
+    sim.schedule_failure(3000.0, ServerId{4});
+    const cluster::RunResult executing = sim.run();
+    backing.check_consistency();
+
+    table.row({name,
+               metrics::TableEmitter::num(parametric.mean_latency * 1e3, 2),
+               metrics::TableEmitter::num(executing.mean_latency * 1e3, 2),
+               std::to_string(backing.flushes()),
+               std::to_string(backing.recoveries()),
+               std::to_string(backing.lost_updates()),
+               std::to_string(backing.checkpoints())});
+  }
+  std::cout << "# expected: for the static policy the two columns agree\n"
+               "# closely (validating the demand model every other bench\n"
+               "# uses); for ANU the executing mode runs somewhat hotter —\n"
+               "# real flush/recovery work scales with dirty state, which\n"
+               "# the parametric model's fixed stalls underestimate. The\n"
+               "# crash recovers every victim file set by journal replay,\n"
+               "# losing only unflushed (group-commit-window) updates.\n";
+  return 0;
+}

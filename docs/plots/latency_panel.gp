@@ -1,0 +1,20 @@
+# Render one per-server latency panel (the paper's Figures 6-11 style).
+#
+#   gnuplot -e "datafile='panel_4.dat'; outfile='anu.png'" latency_panel.gp
+# Optional: -e "ymax=80" to match the paper's closeup axes.
+if (!exists("datafile")) datafile = "panel_1.dat"
+if (!exists("outfile"))  outfile  = "panel.png"
+
+set terminal pngcairo size 900,540 font "sans,11"
+set output outfile
+set xlabel "Time (m)"
+set ylabel "Latency (ms)"
+set key top right
+set grid ytics lc rgb "#dddddd"
+if (exists("ymax")) set yrange [0:ymax]
+
+plot datafile using 1:2 with lines lw 2 title "server 0", \
+     datafile using 1:3 with lines lw 2 title "server 1", \
+     datafile using 1:4 with lines lw 2 title "server 2", \
+     datafile using 1:5 with lines lw 2 title "server 3", \
+     datafile using 1:6 with lines lw 2 title "server 4"

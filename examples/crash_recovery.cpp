@@ -1,0 +1,78 @@
+// Scenario: the shared-disk persistence protocol behind file-set moves.
+//
+// Walks through exactly what happens to one file set's state when it
+// changes servers or its server dies:
+//
+//   1. mutations accumulate in the serving node's volatile journal;
+//   2. a MOVE first flushes (the paper's "writing all dirty data back
+//      to stable storage"), establishing a consistent disk image the
+//      acquiring server recovers from;
+//   3. a CRASH loses the volatile tail — recovery replays the durable
+//      journal over the last checkpoint and the namespace survives
+//      minus only the unflushed operations.
+//
+//   ./crash_recovery
+#include <cstdio>
+#include <string>
+
+#include "disk/shared_disk.h"
+
+int main() {
+  using namespace anufs;
+  using disk::JournaledFileSet;
+  using fsmeta::MetadataOp;
+  using fsmeta::OpKind;
+
+  JournaledFileSet fs;
+  const auto mutate = [&](OpKind kind, std::string path,
+                          std::string path2 = "") {
+    MetadataOp op;
+    op.kind = kind;
+    op.path = std::move(path);
+    op.path2 = std::move(path2);
+    (void)fs.execute(op);
+  };
+
+  std::printf("== build up state ==\n");
+  mutate(OpKind::kMkdir, "home");
+  mutate(OpKind::kMkdir, "home/alice");
+  for (int i = 0; i < 8; ++i) {
+    mutate(OpKind::kCreate, "home/alice/f" + std::to_string(i));
+  }
+  std::printf("  %zu inodes, %zu dirty journal records, image consistent: %s\n",
+              fs.service().tree().inode_count(), fs.journal().dirty_count(),
+              fs.image_is_consistent() ? "yes" : "NO");
+
+  std::printf("\n== file-set move: flush first ==\n");
+  const std::size_t flushed = fs.flush();
+  std::printf("  flushed %zu records -> image consistent: %s\n", flushed,
+              fs.image_is_consistent() ? "yes" : "NO");
+  std::printf("  (this is the 2-5 s the shedding server spends before the\n"
+              "   acquirer can initialize the file set)\n");
+
+  std::printf("\n== checkpoint compacts the journal ==\n");
+  fs.checkpoint();
+  std::printf("  checkpoint %zu bytes, journal tail %zu records\n",
+              fs.image().checkpoint_bytes(), fs.journal().durable().size());
+
+  std::printf("\n== crash with unflushed work ==\n");
+  mutate(OpKind::kCreate, "home/alice/unflushed1");
+  mutate(OpKind::kCreate, "home/alice/unflushed2");
+  mutate(OpKind::kRename, "home/alice/f0", "home/alice/renamed");
+  std::printf("  3 mutations in the volatile journal; server dies...\n");
+  const std::size_t lost = fs.crash_and_recover();
+  std::printf("  recovery: %zu operations lost (never reached the disk)\n",
+              lost);
+  std::printf("  home/alice/f0         -> %s (rename was volatile)\n",
+              to_string(fs.service().tree().resolve("home/alice/f0").status));
+  std::printf("  home/alice/unflushed1 -> %s\n",
+              to_string(fs.service()
+                            .tree()
+                            .resolve("home/alice/unflushed1")
+                            .status));
+  std::printf("  home/alice/f7         -> %s (checkpointed state survived)\n",
+              to_string(fs.service().tree().resolve("home/alice/f7").status));
+  fs.service().tree().check_consistency();
+  std::printf("\nnamespace consistent after recovery.\n");
+  return 0;
+}

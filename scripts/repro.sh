@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full reproduction: build, test, regenerate every figure/table into
+# results/, and print a one-line summary per experiment.
+#
+#   ./scripts/repro.sh [build-dir]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+RESULTS="$ROOT/results"
+
+cmake -B "$BUILD" -G Ninja -S "$ROOT"
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+
+mkdir -p "$RESULTS"
+for bin in "$BUILD"/bench/*; do
+  [ -f "$bin" ] && [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  case "$name" in
+    *.cmake|CMakeFiles|*.a) continue ;;
+  esac
+  echo "== $name"
+  "$bin" > "$RESULTS/$name.txt"
+  # First comment line doubles as the experiment's summary.
+  head -1 "$RESULTS/$name.txt"
+done
+
+echo
+echo "All outputs in $RESULTS/ — see EXPERIMENTS.md for the"
+echo "paper-vs-measured discussion of each."

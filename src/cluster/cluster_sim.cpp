@@ -1,0 +1,393 @@
+#include "cluster/cluster_sim.h"
+
+#include <algorithm>
+#include <string>
+
+#include "sim/distributions.h"
+
+namespace anufs::cluster {
+
+namespace {
+
+std::string server_label(ServerId id) {
+  return "server" + std::to_string(id.value);
+}
+
+}  // namespace
+
+ClusterSim::ClusterSim(ClusterConfig config,
+                       const workload::Workload& workload,
+                       policy::PlacementPolicy& policy)
+    : config_(std::move(config)),
+      workload_(workload),
+      policy_(policy),
+      movement_(config_.movement, config_.seed),
+      san_(sched_),
+      san_rng_(sim::make_stream(config_.seed, "san")),
+      collector_(config_.net.collection),
+      net_rng_(sim::make_stream(config_.seed, "net")) {
+  ANUFS_EXPECTS(!config_.server_speeds.empty());
+  ANUFS_EXPECTS(config_.reconfig_period > 0.0);
+  std::vector<ServerId> initial;
+  for (std::uint32_t i = 0; i < config_.server_speeds.size(); ++i) {
+    const ServerId id{i};
+    install_node(id, config_.server_speeds[i]);
+    initial.push_back(id);
+  }
+  policy_.initialize(workload_.file_sets, initial);
+}
+
+void ClusterSim::install_node(ServerId id, double speed) {
+  ANUFS_EXPECTS(!nodes_.contains(id));
+  auto node_ptr = std::make_unique<ServerNode>(sched_, id, speed);
+  if (config_.record_latency_samples) node_ptr->enable_sample_recording();
+  if (config_.san.enabled) {
+    node_ptr->set_completion_hook(
+        [this](FileSetId, const sim::JobCompletion& c) {
+          const double transfer = sim::sample_exponential(
+              san_rng_, 1.0 / config_.san.mean_transfer);
+          san_.on_metadata_done(c.latency(), transfer);
+        });
+  }
+  nodes_.emplace(id, std::move(node_ptr));
+}
+
+ServerNode& ClusterSim::node(ServerId id) {
+  const auto it = nodes_.find(id);
+  ANUFS_EXPECTS(it != nodes_.end());
+  return *it->second;
+}
+
+void ClusterSim::schedule_failure(sim::SimTime t, ServerId id) {
+  sched_.schedule_at(t, [this, id] {
+    const std::size_t lost = node(id).crash();
+    result_.lost += lost;
+    if (config_.san.enabled) {
+      for (std::size_t i = 0; i < lost; ++i) san_.on_metadata_lost();
+    }
+    if (backing_ != nullptr) {
+      // Every file set the victim served loses its volatile journal
+      // tail at this instant; recovery happens when a new owner
+      // acquires it.
+      for (const workload::FileSetSpec& fs : workload_.file_sets) {
+        if (policy_.owner(fs.id) == id) backing_->on_owner_crashed(fs.id);
+      }
+    }
+    if (config_.detector.enabled) {
+      // Silent crash: the cluster learns of it only through heartbeat
+      // silence; meanwhile its file sets are unreachable.
+      undetected_.emplace(id, sched_.now());
+    } else {
+      apply_moves(policy_.on_server_failed(id), /*crash_induced=*/true);
+    }
+  });
+}
+
+void ClusterSim::detector_sweep() {
+  const sim::SimTime now = sched_.now();
+  for (auto it = undetected_.begin(); it != undetected_.end();) {
+    if (now - it->second >= config_.detector.timeout) {
+      apply_moves(policy_.on_server_failed(it->first),
+                  /*crash_induced=*/true);
+      it = undetected_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  sched_.schedule_in(config_.detector.sweep_interval,
+                     [this] { detector_sweep(); });
+}
+
+void ClusterSim::schedule_recovery(sim::SimTime t, ServerId id) {
+  sched_.schedule_at(t, [this, id] {
+    // A server cannot be re-commissioned before its failure was even
+    // declared (it would still be a member).
+    ANUFS_EXPECTS(!undetected_.contains(id));
+    node(id).recover();
+    apply_moves(policy_.on_server_added(id), /*crash_induced=*/false);
+  });
+}
+
+void ClusterSim::schedule_addition(sim::SimTime t, ServerId id,
+                                   double speed) {
+  sched_.schedule_at(t, [this, id, speed] {
+    install_node(id, speed);
+    apply_moves(policy_.on_server_added(id), /*crash_induced=*/false);
+  });
+}
+
+void ClusterSim::arrive(std::size_t index) {
+  const workload::RequestEvent& r = workload_.requests[index];
+  // The issuing client blocks on metadata from this instant.
+  if (config_.san.enabled) san_.on_metadata_issued();
+
+  // Routing staleness: a client whose mapping predates the last
+  // reconfiguration sends to the previous owner, which re-hashes the
+  // name and forwards after the forwarding work clears its queue.
+  bool forwarded = false;
+  if (config_.routing.model_staleness) {
+    const auto stale = stale_.find(r.file_set);
+    if (stale != stale_.end()) {
+      if (sched_.now() >= stale->second.second) {
+        stale_.erase(stale);  // mapping has propagated
+      } else if (node(stale->second.first).alive()) {
+        ++result_.forwarded;
+        forwarded = true;
+        const FileSetId fs = r.file_set;
+        const double demand = r.demand;
+        const sim::SimTime arrival = r.time;
+        node(stale->second.first)
+            .stall_then(config_.routing.forward_demand,
+                        [this, fs, demand, arrival, index] {
+                          sched_.schedule_in(
+                              config_.routing.forward_hop,
+                              [this, fs, demand, arrival, index] {
+                                deliver(fs, demand, arrival, index);
+                              });
+                        });
+      }
+    }
+  }
+  if (!forwarded) deliver(r.file_set, r.demand, r.time, index);
+
+  if (index + 1 < workload_.requests.size()) {
+    sched_.schedule_at(workload_.requests[index + 1].time,
+                       [this, index] { arrive(index + 1); });
+  }
+}
+
+void ClusterSim::deliver(FileSetId fs, double demand,
+                         sim::SimTime original_arrival,
+                         std::size_t op_index) {
+  // Requests for a file set in flight between servers are held and
+  // replayed when the move completes.
+  const auto it = unavailable_until_.find(fs);
+  if (it != unavailable_until_.end() && sched_.now() < it->second) {
+    held_[fs].push_back(HeldRequest{original_arrival, demand, op_index});
+  } else {
+    route(fs, demand, original_arrival, op_index);
+  }
+}
+
+void ClusterSim::route(FileSetId fs, double demand,
+                       sim::SimTime original_arrival,
+                       std::size_t op_index) {
+  const ServerId owner = policy_.owner(fs);
+  if (!node(owner).alive()) {
+    // The owner crashed but the failure has not been declared yet: the
+    // client's request times out and is lost.
+    ANUFS_ENSURES(config_.detector.enabled);
+    ++result_.lost;
+    if (config_.san.enabled) san_.on_metadata_lost();
+    return;
+  }
+  if (backing_ != nullptr) {
+    // Executing-server mode: the demand is whatever the typed
+    // operation costs when it reaches the head of the queue (cold
+    // cache still applies, consumed once per served request).
+    node(owner).submit_deferred(
+        fs,
+        [this, fs, op_index] {
+          return backing_->execute_op(op_index) *
+                 movement_.demand_multiplier(fs);
+        },
+        original_arrival);
+    return;
+  }
+  // Cold-cache penalty is consumed per actually-served request.
+  const double effective = demand * movement_.demand_multiplier(fs);
+  node(owner).submit(fs, effective, original_arrival);
+}
+
+void ClusterSim::drain_held(FileSetId fs) {
+  const auto until = unavailable_until_.find(fs);
+  if (until != unavailable_until_.end()) {
+    if (sched_.now() < until->second) return;  // a later move superseded
+    unavailable_until_.erase(until);
+  }
+  const auto it = held_.find(fs);
+  if (it == held_.end()) return;
+  std::vector<HeldRequest> pending = std::move(it->second);
+  held_.erase(it);
+  for (const HeldRequest& h : pending) {
+    route(fs, h.demand, h.time, h.op_index);
+  }
+}
+
+void ClusterSim::apply_moves(const std::vector<policy::Move>& moves,
+                             bool crash_induced) {
+  result_.moves += moves.size();
+  result_.moves_timeline.emplace_back(sched_.now(), moves.size());
+  if (config_.routing.model_staleness) {
+    const sim::SimTime until =
+        sched_.now() + config_.routing.distribution_delay;
+    for (const policy::Move& m : moves) {
+      stale_[m.file_set] = {m.from, until};
+    }
+  }
+  if (!movement_.config().enabled) {
+    // Cost-free moves still require the backing's state transitions
+    // (flush + recovery), or crashed file sets would never recover.
+    if (backing_ != nullptr) {
+      for (const policy::Move& m : moves) {
+        if (!crash_induced && node(m.from).alive()) {
+          (void)backing_->flush_cost(m.file_set);
+        }
+        (void)backing_->acquire_cost(m.file_set);
+      }
+    }
+    return;
+  }
+  for (const policy::Move& m : moves) {
+    movement_.on_move(m.file_set);
+    double transit = movement_.sample_init();
+    if (!crash_induced) {
+      transit += movement_.sample_flush();
+      // The shedding server spends a little CPU driving the flush.
+      if (node(m.from).alive()) {
+        double shed_stall = movement_.config().shed_cpu_stall;
+        if (backing_ != nullptr) {
+          shed_stall += backing_->flush_cost(m.file_set);
+        }
+        node(m.from).stall(shed_stall);
+      }
+    }
+    double acquire_stall = movement_.config().acquire_cpu_stall;
+    if (backing_ != nullptr) {
+      acquire_stall += backing_->acquire_cost(m.file_set);
+    }
+    node(m.to).stall(acquire_stall);
+    const sim::SimTime ready = sched_.now() + transit;
+    auto& until = unavailable_until_[m.file_set];
+    until = std::max(until, ready);
+    sched_.schedule_at(ready,
+                       [this, fs = m.file_set] { drain_held(fs); });
+  }
+}
+
+void ClusterSim::reconfigure() {
+  const sim::SimTime now = sched_.now();
+  // A crashed server cannot report: the delegate notices the missing
+  // report, which is itself failure detection — declare before tuning.
+  for (auto it = undetected_.begin(); it != undetected_.end();) {
+    apply_moves(policy_.on_server_failed(it->first),
+                /*crash_induced=*/true);
+    it = undetected_.erase(it);
+  }
+  std::vector<core::ServerReport> reports;
+  for (const auto& [id, node_ptr] : nodes_) {
+    ServerNode& n = *node_ptr;
+    if (!n.alive()) {
+      result_.latency_ms.at(server_label(id)).append(now, 0.0);
+      continue;
+    }
+    const sim::IntervalSnapshot snap = n.harvest();
+    reports.push_back(core::ServerReport{id, snap.mean, snap.count});
+    result_.latency_ms.at(server_label(id)).append(now, snap.mean * 1e3);
+  }
+
+  if (config_.net.report_loss > 0.0 && !reports.empty()) {
+    // Each report reaches the delegate independently; silence
+    // accumulates toward expulsion (fencing).
+    std::vector<core::ServerReport> arrived;
+    for (const core::ServerReport& r : reports) {
+      if (net_rng_.next_double() < config_.net.report_loss) {
+        ++result_.reports_lost;
+      } else {
+        arrived.push_back(r);
+      }
+    }
+    const core::ReportCollector::RoundOutcome outcome =
+        collector_.close_round(policy_.servers(), arrived);
+    for (const ServerId suspect : outcome.suspects) {
+      // Never expel the last member: someone must keep serving (the
+      // quorum rule every membership service ends at).
+      if (policy_.servers().size() <= 1) break;
+      // Expelling a live member fences it: its queue is discarded and
+      // it stops serving (it may be re-commissioned later).
+      if (node(suspect).alive()) {
+        ++result_.fenced;
+        result_.lost += node(suspect).crash();
+        if (backing_ != nullptr) {
+          for (const workload::FileSetSpec& fs : workload_.file_sets) {
+            if (policy_.owner(fs.id) == suspect) {
+              backing_->on_owner_crashed(fs.id);
+            }
+          }
+        }
+      }
+      apply_moves(policy_.on_server_failed(suspect),
+                  /*crash_induced=*/true);
+      collector_.forget(suspect);
+    }
+    // The tuner needs one report per remaining member: servers whose
+    // report was lost this round are passed as "no data" (zero
+    // requests), which every averaging mode ignores and top-off never
+    // grows explicitly.
+    std::vector<core::ServerReport> padded;
+    for (const ServerId id : policy_.servers()) {
+      const auto it = std::find_if(
+          arrived.begin(), arrived.end(),
+          [id](const core::ServerReport& r) { return r.id == id; });
+      padded.push_back(it != arrived.end()
+                           ? *it
+                           : core::ServerReport{id, 0.0, 0});
+    }
+    if (!padded.empty()) {
+      apply_moves(policy_.rebalance(now, padded), /*crash_induced=*/false);
+    }
+  } else if (!reports.empty()) {
+    apply_moves(policy_.rebalance(now, reports), /*crash_induced=*/false);
+  }
+  const sim::SimTime next = now + config_.reconfig_period;
+  if (next <= workload_.duration) {
+    sched_.schedule_at(next, [this] { reconfigure(); });
+  }
+}
+
+RunResult ClusterSim::run() {
+  ANUFS_EXPECTS(!ran_);
+  ran_ = true;
+  result_.total_requests = workload_.requests.size();
+  // Pre-create series for the initial servers so labels exist even if a
+  // server never completes a request.
+  for (const auto& [id, node_ptr] : nodes_) {
+    result_.latency_ms.at(server_label(id));
+  }
+  if (!workload_.requests.empty()) {
+    sched_.schedule_at(workload_.requests.front().time,
+                       [this] { arrive(0); });
+  }
+  if (config_.reconfig_period <= workload_.duration) {
+    sched_.schedule_at(config_.reconfig_period, [this] { reconfigure(); });
+  }
+  if (config_.detector.enabled) {
+    sched_.schedule_in(config_.detector.sweep_interval,
+                       [this] { detector_sweep(); });
+  }
+  sched_.run_until(workload_.duration);
+
+  for (const auto& [id, node_ptr] : nodes_) {
+    const ServerNode& n = *node_ptr;
+    result_.completed += n.completed();
+    result_.mean_latency += n.latency_sum();
+    result_.server_completed[id.value] = n.completed();
+    result_.server_busy[id.value] = n.busy_time();
+    if (config_.record_latency_samples) {
+      result_.latency_samples[id.value] = n.latency_samples();
+    }
+  }
+  result_.mean_latency = result_.completed == 0
+                             ? 0.0
+                             : result_.mean_latency /
+                                   static_cast<double>(result_.completed);
+  if (config_.san.enabled) {
+    san_.advance();
+    result_.san_busy = san_.busy_time();
+    result_.san_wasted_idle = san_.wasted_idle();
+    result_.san_mean_end_to_end = san_.mean_end_to_end();
+  }
+  return std::move(result_);
+}
+
+}  // namespace anufs::cluster

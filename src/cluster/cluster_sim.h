@@ -1,0 +1,202 @@
+// The composed shared-disk metadata-cluster simulation: heterogeneous
+// servers, a replayable workload, a pluggable placement policy, the
+// file-set movement cost model, periodic latency-driven reconfiguration,
+// and membership (failure/recovery/commission) injection.
+//
+// This is the experimental apparatus of Section 7 of the paper: every
+// figure is produced by running this simulator with a different policy
+// or workload.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/movement.h"
+#include "cluster/san.h"
+#include "cluster/server_node.h"
+#include "cluster/typed_backing.h"
+#include "core/collection.h"
+#include "common/ids.h"
+#include "metrics/series.h"
+#include "policies/policy.h"
+#include "sim/random.h"
+#include "sim/scheduler.h"
+#include "workload/spec.h"
+
+namespace anufs::cluster {
+
+/// Client-side routing staleness model. After a reconfiguration the new
+/// server-to-interval mapping takes time to reach every client; until
+/// then, requests for moved file sets land on the PREVIOUS owner, which
+/// re-hashes the unique name and forwards ("when a server sees an
+/// unknown unique name, it hashes it and routes the request to the
+/// appropriate server", paper §5).
+struct RoutingConfig {
+  bool model_staleness = false;
+  /// How long a new mapping takes to reach clients.
+  double distribution_delay = 1.0;
+  /// Unit-speed CPU the wrong server spends re-hashing + forwarding.
+  double forward_demand = 0.002;
+  /// Network hop to the correct server.
+  double forward_hop = 0.002;
+};
+
+/// Heartbeat failure detection. With the detector enabled, a crash is
+/// NOT instantly known: requests routed to the dead server during the
+/// detection window are lost (client timeouts), and only after
+/// `timeout` seconds of silence does the cluster declare the failure
+/// and re-home the victim's file sets — the "self-organizing" mode of
+/// the paper's §1 ("placing, moving, and balancing workload without
+/// human intervention").
+struct FailureDetectorConfig {
+  bool enabled = false;
+  double sweep_interval = 5.0;  ///< how often silence is checked
+  double timeout = 15.0;        ///< silence before declaring failure
+};
+
+/// Lossy report collection. Each per-round latency report reaches the
+/// delegate with probability 1 - report_loss; the delegate tunes with
+/// what arrived and only declares a member failed after
+/// `collection.miss_threshold` consecutive silent rounds — a false
+/// positive FENCES the server (its queue is discarded), the price real
+/// clusters pay for expelling a live member.
+struct NetConfig {
+  double report_loss = 0.0;
+  core::CollectionConfig collection;
+};
+
+struct ClusterConfig {
+  /// Initial servers: speeds[i] is the relative power of ServerId{i}.
+  /// The paper's cluster is {1, 3, 5, 7, 9}.
+  std::vector<double> server_speeds{1, 3, 5, 7, 9};
+  /// Reconfiguration (latency collection) period; 120 s in the paper.
+  double reconfig_period = 120.0;
+  MovementConfig movement;
+  /// Optional client/SAN data-path model (off by default: the paper's
+  /// latency figures measure the metadata path only).
+  SanConfig san;
+  /// Optional routing-staleness/forwarding model (off by default).
+  RoutingConfig routing;
+  /// Optional heartbeat failure detector (off: failures are declared
+  /// instantly, as in schedule_failure).
+  FailureDetectorConfig detector;
+  /// Report-message loss model (report_loss == 0: lossless).
+  NetConfig net;
+  /// Record every request latency for whole-run percentile analysis
+  /// (RunResult::latency_samples). Off by default: memory-proportional
+  /// to the request count.
+  bool record_latency_samples = false;
+  std::uint64_t seed = 42;
+};
+
+struct RunResult {
+  /// Per-server mean latency (milliseconds) sampled once per period —
+  /// the series plotted in Figures 6-11. Labels: "server0", "server1"...
+  metrics::SeriesBundle latency_ms;
+  std::uint64_t total_requests = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t lost = 0;   ///< dropped by server crashes
+  std::uint64_t moves = 0;  ///< file-set relocations over the run
+  std::uint64_t forwarded = 0;  ///< stale-routed requests (RoutingConfig)
+  std::uint64_t reports_lost = 0;  ///< dropped report messages (NetConfig)
+  std::uint64_t fenced = 0;  ///< live servers expelled by missed reports
+  /// (time, moves) at each reconfiguration/membership event.
+  std::vector<std::pair<double, std::uint64_t>> moves_timeline;
+  /// Completed-request mean latency over the whole run, seconds.
+  double mean_latency = 0.0;
+  /// Whole-run per-server stats, keyed by ServerId value.
+  std::map<std::uint32_t, std::uint64_t> server_completed;
+  std::map<std::uint32_t, double> server_busy;
+  /// Per-server request latencies (seconds), populated only when
+  /// ClusterConfig::record_latency_samples is set.
+  std::map<std::uint32_t, std::vector<double>> latency_samples;
+  /// SAN model outputs (zero unless ClusterConfig::san.enabled).
+  double san_busy = 0.0;         ///< seconds with >=1 transfer in flight
+  double san_wasted_idle = 0.0;  ///< idle-while-clients-blocked seconds
+  double san_mean_end_to_end = 0.0;  ///< metadata + transfer, seconds
+};
+
+class ClusterSim {
+ public:
+  /// The policy is borrowed and must outlive the simulation.
+  ClusterSim(ClusterConfig config, const workload::Workload& workload,
+             policy::PlacementPolicy& policy);
+
+  ClusterSim(const ClusterSim&) = delete;
+  ClusterSim& operator=(const ClusterSim&) = delete;
+
+  /// Inject a crash of an initial (or added) server at time t. With the
+  /// failure detector disabled the membership change is declared
+  /// immediately; with it enabled, the crash is silent until the
+  /// detector's timeout elapses.
+  void schedule_failure(sim::SimTime t, ServerId id);
+
+  /// Re-commission a previously crashed server at time t.
+  void schedule_recovery(sim::SimTime t, ServerId id);
+
+  /// Commission a brand-new server (fresh id) with the given speed.
+  void schedule_addition(sim::SimTime t, ServerId id, double speed);
+
+  /// Executing-server mode: attach a TypedBacking BEFORE run(). Request
+  /// demands then come from executing each request's typed operation,
+  /// and move costs from the backing's real flush/recovery work. The
+  /// backing must outlive the simulation.
+  void attach_backing(TypedBacking& backing) {
+    ANUFS_EXPECTS(!ran_ && backing_ == nullptr);
+    backing_ = &backing;
+  }
+
+  /// Run to the workload's duration and collect results. Call once.
+  RunResult run();
+
+  /// Scheduler access for tests that interleave custom events.
+  [[nodiscard]] sim::Scheduler& scheduler() noexcept { return sched_; }
+
+ private:
+  struct HeldRequest {
+    sim::SimTime time;
+    double demand;
+    std::size_t op_index;  // aligned with the workload (backing mode)
+  };
+
+  void arrive(std::size_t index);
+  /// Deliver to the correct owner, holding while the set is in transit.
+  void deliver(FileSetId fs, double demand, sim::SimTime original_arrival,
+               std::size_t op_index);
+  void route(FileSetId fs, double demand, sim::SimTime original_arrival,
+             std::size_t op_index);
+  void reconfigure();
+  void apply_moves(const std::vector<policy::Move>& moves,
+                   bool crash_induced);
+  void drain_held(FileSetId fs);
+  [[nodiscard]] ServerNode& node(ServerId id);
+  void install_node(ServerId id, double speed);
+  void detector_sweep();
+
+  ClusterConfig config_;
+  const workload::Workload& workload_;
+  policy::PlacementPolicy& policy_;
+  sim::Scheduler sched_;
+  MovementModel movement_;
+  SanModel san_;
+  sim::Xoshiro256 san_rng_;
+  std::map<ServerId, std::unique_ptr<ServerNode>> nodes_;
+  // Movement-in-progress bookkeeping.
+  std::unordered_map<FileSetId, sim::SimTime> unavailable_until_;
+  std::unordered_map<FileSetId, std::vector<HeldRequest>> held_;
+  // Routing staleness: file set -> (previous owner, stale until).
+  std::unordered_map<FileSetId, std::pair<ServerId, sim::SimTime>> stale_;
+  // Failure detection: crash time of silently-dead servers, pending
+  // declaration by the detector sweep.
+  std::map<ServerId, sim::SimTime> undetected_;
+  TypedBacking* backing_ = nullptr;
+  core::ReportCollector collector_;
+  sim::Xoshiro256 net_rng_;
+  RunResult result_;
+  bool ran_ = false;
+};
+
+}  // namespace anufs::cluster

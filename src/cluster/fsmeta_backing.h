@@ -1,0 +1,91 @@
+// The fsmeta/disk implementation of TypedBacking: each file set is a
+// JournaledFileSet (live namespace + WAL + shared-disk image); request
+// demands come from executing the typed operations; flush and
+// acquisition costs come from the actual journal and image sizes; a
+// crash really loses the volatile tail and the next owner really
+// replays the log.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/typed_backing.h"
+#include "common/check.h"
+#include "disk/shared_disk.h"
+#include "workload/op_workload.h"
+
+namespace anufs::cluster {
+
+struct FsmetaBackingConfig {
+  /// Flush stall: base seek/sync plus per-dirty-record write time.
+  /// Bases match the parametric MovementConfig CPU stalls so the two
+  /// models differ only in the state-dependent parts.
+  double flush_base = 0.2;
+  double flush_per_record = 0.01;
+  /// Acquisition stall: base open plus per-journal-record replay plus
+  /// per-KiB checkpoint read.
+  double acquire_base = 0.2;
+  double acquire_per_record = 0.005;
+  double acquire_per_kib = 0.001;
+  /// Background checkpoint once this many records are in the journal
+  /// (keeps acquisition costs bounded; charged to nobody, like a real
+  /// background compactor).
+  std::size_t checkpoint_threshold = 256;
+  /// Background writeback: flush once this many mutations are dirty
+  /// (group commit). Bounds the updates a crash can lose per file set.
+  std::size_t sync_interval = 32;
+  fsmeta::CostModel cost;
+};
+
+class FsmetaBacking final : public TypedBacking {
+ public:
+  /// `generated` must outlive the backing (ops and request->file-set
+  /// mapping are read from it during the run).
+  FsmetaBacking(const workload::OpWorkloadResult& generated,
+                FsmetaBackingConfig config = {});
+
+  double execute_op(std::size_t op_index) override;
+  double flush_cost(FileSetId fs) override;
+  double acquire_cost(FileSetId fs) override;
+  void on_owner_crashed(FileSetId fs) override;
+
+  // ---- post-run accounting ----------------------------------------------
+
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+  [[nodiscard]] std::uint64_t op_failures() const noexcept {
+    return failures_;
+  }
+  /// Mutations that were executed but lost to crashes before flushing.
+  [[nodiscard]] std::uint64_t lost_updates() const noexcept {
+    return lost_updates_;
+  }
+  [[nodiscard]] std::uint64_t flushes() const noexcept { return flushes_; }
+  [[nodiscard]] std::uint64_t recoveries() const noexcept {
+    return recoveries_;
+  }
+  [[nodiscard]] std::uint64_t checkpoints() const noexcept {
+    return checkpoints_;
+  }
+
+  [[nodiscard]] const disk::JournaledFileSet& file_set(FileSetId fs) const {
+    ANUFS_EXPECTS(fs.value < sets_.size());
+    return *sets_[fs.value];
+  }
+
+  /// Every live namespace and lock table is structurally consistent.
+  void check_consistency() const;
+
+ private:
+  const workload::OpWorkloadResult& generated_;
+  FsmetaBackingConfig config_;
+  std::vector<std::unique_ptr<disk::JournaledFileSet>> sets_;
+  std::uint64_t executed_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t lost_updates_ = 0;
+  std::uint64_t flushes_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t checkpoints_ = 0;
+};
+
+}  // namespace anufs::cluster

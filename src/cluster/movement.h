@@ -1,0 +1,97 @@
+// File-set movement cost model.
+//
+// Moving a file set in the target system takes five to ten seconds: the
+// releasing server flushes its dirty cache for the set to shared disk,
+// the acquiring server initializes the set, and the acquirer then runs
+// with a cold cache for that set. We model this as:
+//
+//  * UNAVAILABILITY: the set cannot be served for flush+init seconds;
+//    requests arriving meanwhile are held and replayed in order at the
+//    new owner with their original arrival times (latency spans the
+//    full wait);
+//  * CPU STALLS: small fixed-duration occupations of the shedding and
+//    acquiring servers (the flush itself is mostly disk I/O, so it does
+//    not block the server's CPU for the full duration);
+//  * COLD CACHE: the set's next `cold_requests` requests at the new
+//    owner carry inflated service demand, decaying linearly back to 1x.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "sim/random.h"
+
+namespace anufs::cluster {
+
+struct MovementConfig {
+  double flush_min = 2.0;   ///< seconds, releasing side
+  double flush_max = 5.0;
+  double init_min = 1.0;    ///< seconds, acquiring side
+  double init_max = 3.0;
+  double shed_cpu_stall = 0.2;     ///< CPU occupation on the shedder
+  double acquire_cpu_stall = 0.2;  ///< CPU occupation on the acquirer
+  double cold_factor = 2.0;        ///< initial demand multiplier
+  std::uint32_t cold_requests = 50;  ///< requests until fully warm
+  /// Crash-induced moves skip the flush (there is no one to flush; the
+  /// shared-disk image is recovered by the acquirer instead).
+  bool enabled = true;
+};
+
+/// Samples per-move costs and tracks per-file-set cache temperature.
+/// Deterministic in the seed.
+class MovementModel {
+ public:
+  MovementModel(MovementConfig config, std::uint64_t seed)
+      : config_(config), rng_(sim::make_stream(seed, "movement")) {
+    ANUFS_EXPECTS(config.flush_min >= 0 &&
+                  config.flush_max >= config.flush_min);
+    ANUFS_EXPECTS(config.init_min >= 0 && config.init_max >= config.init_min);
+    ANUFS_EXPECTS(config.cold_factor >= 1.0);
+  }
+
+  [[nodiscard]] const MovementConfig& config() const noexcept {
+    return config_;
+  }
+
+  [[nodiscard]] double sample_flush() {
+    return config_.flush_min +
+           (config_.flush_max - config_.flush_min) * rng_.next_double();
+  }
+
+  [[nodiscard]] double sample_init() {
+    return config_.init_min +
+           (config_.init_max - config_.init_min) * rng_.next_double();
+  }
+
+  /// Mark a file set as freshly moved: its cache is cold.
+  void on_move(FileSetId fs) {
+    if (config_.cold_requests > 0 && config_.cold_factor > 1.0) {
+      cold_remaining_[fs] = config_.cold_requests;
+    }
+  }
+
+  /// Demand multiplier for the next request of `fs`, consuming one step
+  /// of warm-up. 1.0 once warm. Linear decay from cold_factor to 1.
+  [[nodiscard]] double demand_multiplier(FileSetId fs) {
+    const auto it = cold_remaining_.find(fs);
+    if (it == cold_remaining_.end()) return 1.0;
+    const std::uint32_t remaining = it->second;
+    const double frac = static_cast<double>(remaining) /
+                        static_cast<double>(config_.cold_requests);
+    if (--it->second == 0) cold_remaining_.erase(it);
+    return 1.0 + (config_.cold_factor - 1.0) * frac;
+  }
+
+  [[nodiscard]] std::size_t cold_sets() const noexcept {
+    return cold_remaining_.size();
+  }
+
+ private:
+  MovementConfig config_;
+  sim::Xoshiro256 rng_;
+  std::unordered_map<FileSetId, std::uint32_t> cold_remaining_;
+};
+
+}  // namespace anufs::cluster

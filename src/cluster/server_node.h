@@ -1,0 +1,129 @@
+// One simulated metadata server: FIFO queueing resource + per-interval
+// latency accounting + liveness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "sim/interval_stats.h"
+#include "sim/queueing.h"
+#include "sim/scheduler.h"
+
+namespace anufs::cluster {
+
+class ServerNode {
+ public:
+  using CompletionHook =
+      std::function<void(FileSetId, const sim::JobCompletion&)>;
+
+  ServerNode(sim::Scheduler& sched, ServerId id, double speed)
+      : id_(id), fifo_(sched, speed) {}
+
+  [[nodiscard]] ServerId id() const noexcept { return id_; }
+  [[nodiscard]] double speed() const noexcept { return fifo_.speed(); }
+  [[nodiscard]] bool alive() const noexcept { return alive_; }
+
+  /// Observer invoked on every request completion (e.g. to start the
+  /// client's SAN transfer once its metadata is served).
+  void set_completion_hook(CompletionHook hook) { hook_ = std::move(hook); }
+
+  /// Record every request latency for whole-run percentile analysis
+  /// (off by default: the paper's figures use interval means).
+  void enable_sample_recording() { record_samples_ = true; }
+
+  [[nodiscard]] const std::vector<double>& latency_samples() const noexcept {
+    return samples_;
+  }
+
+  /// Submit one metadata request for file set `fs`; latency is recorded
+  /// into the interval accumulator on completion. `arrival` backdates
+  /// requests held during file-set movement.
+  void submit(FileSetId fs, double demand,
+              std::optional<sim::SimTime> arrival = std::nullopt) {
+    ANUFS_EXPECTS(alive_);
+    fifo_.submit(demand, fs.value, [this, fs](const sim::JobCompletion& c) {
+      const sim::SimDuration lat = c.latency();
+      interval_.record(lat);
+      ++completed_;
+      latency_sum_ += lat;
+      if (record_samples_) samples_.push_back(lat);
+      if (hook_) hook_(fs, c);
+    }, arrival);
+  }
+
+  /// CPU stall (flush/init work during file-set movement).
+  void stall(sim::SimDuration seconds) {
+    ANUFS_EXPECTS(alive_);
+    if (seconds > 0.0) fifo_.occupy(seconds);
+  }
+
+  /// Executing-server mode: demand is computed at service start by
+  /// `demand_fn` (which runs the typed operation).
+  void submit_deferred(FileSetId fs, sim::FifoServer::DemandFn demand_fn,
+                       std::optional<sim::SimTime> arrival = std::nullopt) {
+    ANUFS_EXPECTS(alive_);
+    fifo_.submit_deferred(
+        std::move(demand_fn), fs.value,
+        [this, fs](const sim::JobCompletion& c) {
+          const sim::SimDuration lat = c.latency();
+          interval_.record(lat);
+          ++completed_;
+          latency_sum_ += lat;
+          if (record_samples_) samples_.push_back(lat);
+          if (hook_) hook_(fs, c);
+        },
+        arrival);
+  }
+
+  /// FIFO-ordered stall with a completion callback — used for request
+  /// forwarding: a stale-routed request queues at the wrong server,
+  /// costs it `demand` unit-speed seconds to re-hash and re-route, and
+  /// `done` fires when that work completes.
+  void stall_then(double demand, sim::FifoServer::DoneFn done) {
+    ANUFS_EXPECTS(alive_);
+    fifo_.occupy(demand / fifo_.speed(), std::move(done));
+  }
+
+  /// Harvest and reset this interval's statistics.
+  sim::IntervalSnapshot harvest() { return interval_.harvest(); }
+
+  /// Crash: drop all queued work; returns the number of requests lost.
+  std::size_t crash() {
+    ANUFS_EXPECTS(alive_);
+    alive_ = false;
+    interval_ = {};
+    return fifo_.reset();
+  }
+
+  /// Rejoin with an empty queue (shared disk preserved the data).
+  void recover() {
+    ANUFS_EXPECTS(!alive_);
+    alive_ = true;
+  }
+
+  // Cumulative whole-run statistics.
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+  [[nodiscard]] double latency_sum() const noexcept { return latency_sum_; }
+  [[nodiscard]] sim::SimDuration busy_time() const noexcept {
+    return fifo_.busy_time();
+  }
+  [[nodiscard]] std::size_t queue_length() const noexcept {
+    return fifo_.queue_length();
+  }
+
+ private:
+  ServerId id_;
+  sim::FifoServer fifo_;
+  sim::IntervalAccumulator interval_;
+  CompletionHook hook_;
+  std::vector<double> samples_;
+  bool record_samples_ = false;
+  bool alive_ = true;
+  std::uint64_t completed_ = 0;
+  double latency_sum_ = 0.0;
+};
+
+}  // namespace anufs::cluster

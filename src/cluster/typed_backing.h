@@ -1,0 +1,45 @@
+// Executing-server backing: the interface through which the cluster
+// simulator delegates to a REAL metadata implementation instead of the
+// parametric demand model.
+//
+// With a backing attached (ClusterSim::attach_backing):
+//  * a request's service demand is whatever executing its typed
+//    operation actually costs, computed when service starts;
+//  * a file-set move charges the shedding server the real flush cost
+//    (proportional to its dirty journal) and the acquiring server the
+//    real initialization/recovery cost (proportional to the disk
+//    image);
+//  * a server crash loses each owned file set's volatile journal tail,
+//    and the next owner pays for — and performs — the recovery replay.
+#pragma once
+
+#include <cstddef>
+
+#include "common/ids.h"
+
+namespace anufs::cluster {
+
+class TypedBacking {
+ public:
+  virtual ~TypedBacking() = default;
+
+  /// Execute the workload's op at `op_index` against its file set's
+  /// live state; returns the unit-speed demand it cost. Called exactly
+  /// once per request, at service start, in service order.
+  virtual double execute_op(std::size_t op_index) = 0;
+
+  /// Flush the file set's dirty journal to stable storage (shedding
+  /// side of a move); returns the wall-seconds of stall it costs.
+  virtual double flush_cost(FileSetId fs) = 0;
+
+  /// Initialize/recover the file set on the acquiring server; returns
+  /// the wall-seconds of stall it costs. Performs crash recovery if the
+  /// previous owner died.
+  virtual double acquire_cost(FileSetId fs) = 0;
+
+  /// The file set's serving node crashed: its volatile journal tail is
+  /// lost now; recovery happens at the next acquire_cost call.
+  virtual void on_owner_crashed(FileSetId fs) = 0;
+};
+
+}  // namespace anufs::cluster

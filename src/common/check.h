@@ -1,0 +1,31 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects/Ensures. Checks are active in all build types: this library's
+// correctness rests on a handful of arithmetic invariants (half-occupancy,
+// one-partial-partition, ...) whose violation must never be silent.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace anufs::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "anufs: %s failed: %s at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace anufs::detail
+
+// Precondition on the caller.
+#define ANUFS_EXPECTS(expr)                                              \
+  ((expr) ? static_cast<void>(0)                                         \
+          : ::anufs::detail::contract_failure("precondition", #expr,     \
+                                              __FILE__, __LINE__))
+
+// Postcondition / internal invariant of the callee.
+#define ANUFS_ENSURES(expr)                                              \
+  ((expr) ? static_cast<void>(0)                                         \
+          : ::anufs::detail::contract_failure("invariant", #expr,        \
+                                              __FILE__, __LINE__))

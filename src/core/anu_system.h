@@ -1,0 +1,103 @@
+// Facade over the ANU machinery: placement map + delegate + membership.
+//
+// This is the public API a file system embeds. It owns the replicated
+// state (the region map), answers locate() for request routing, applies
+// one delegate round per reconfiguration period, and handles server
+// failure/recovery/commission/decommission with the paper's semantics:
+// only the affected measure moves, survivors preserve their regions (and
+// therefore their caches), and the interval re-partitions itself when
+// growth demands it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/delegate.h"
+#include "core/pairwise_tuner.h"
+#include "core/placement.h"
+#include "core/tuner.h"
+
+namespace anufs::core {
+
+/// How reconfiguration decisions are computed.
+enum class TunerMode {
+  kCentralizedDelegate,    ///< the paper's elected-delegate protocol
+  kDecentralizedPairwise,  ///< the paper's future-work gossip variant
+};
+
+struct AnuConfig {
+  PlacementConfig placement;
+  TunerConfig tuner;           ///< used in kCentralizedDelegate mode
+  PairwiseConfig pairwise;     ///< used in kDecentralizedPairwise mode
+  TunerMode mode = TunerMode::kCentralizedDelegate;
+};
+
+class AnuSystem {
+ public:
+  /// Construct with the initial server set. With no knowledge of
+  /// hardware, every server starts with an equal share of the mapped
+  /// half ("the initial configuration places the same number of file
+  /// sets at each server, minus hashing variance").
+  AnuSystem(AnuConfig config, const std::vector<ServerId>& initial);
+
+  // ---- addressing -------------------------------------------------------
+
+  [[nodiscard]] ServerId locate(std::uint64_t fingerprint) const {
+    return placement_.locate_server(fingerprint);
+  }
+  [[nodiscard]] LocateResult locate_detailed(std::uint64_t fp) const {
+    return placement_.locate(fp);
+  }
+
+  // ---- reconfiguration --------------------------------------------------
+
+  /// One delegate round: elect, tune, and apply the new mapping.
+  /// `reports` must contain exactly one entry per alive server.
+  TuneDecision reconfigure(const std::vector<ServerReport>& reports);
+
+  // ---- membership -------------------------------------------------------
+
+  /// Server failure or decommission: its region is released and the
+  /// survivors grow proportionally to restore half-occupancy. Only file
+  /// sets of the failed server re-home.
+  void fail_server(ServerId id);
+
+  /// Server recovery or commission: re-partitions the interval if needed
+  /// (doubling P until P >= 2(n+1)), grants the newcomer one partition's
+  /// measure from a free partition, and scales everyone else back.
+  void add_server(ServerId id);
+
+  // ---- introspection ----------------------------------------------------
+
+  [[nodiscard]] const PlacementMap& placement() const noexcept {
+    return placement_;
+  }
+  [[nodiscard]] PlacementMap& placement() noexcept { return placement_; }
+  [[nodiscard]] const RegionMap& regions() const noexcept {
+    return placement_.regions();
+  }
+  [[nodiscard]] std::vector<ServerId> alive() const {
+    return placement_.regions().server_ids();
+  }
+  [[nodiscard]] Delegate& delegate() noexcept { return delegate_; }
+  [[nodiscard]] PairwiseTuner& pairwise() noexcept { return pairwise_; }
+
+  /// Monotone configuration version; bumps on every change that can move
+  /// load (tuning rounds that acted, failures, additions).
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  void check_invariants() const { placement_.regions().check_invariants(); }
+
+ private:
+  /// Proportionally rescale all servers so shares sum to exactly 1/2.
+  void restore_half_occupancy();
+
+  AnuConfig config_;
+  PlacementMap placement_;
+  Delegate delegate_;
+  PairwiseTuner pairwise_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace anufs::core

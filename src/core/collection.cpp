@@ -1,0 +1,35 @@
+#include "core/collection.h"
+
+#include <algorithm>
+
+namespace anufs::core {
+
+ReportCollector::RoundOutcome ReportCollector::close_round(
+    const std::vector<ServerId>& members,
+    const std::vector<ServerReport>& arrived) {
+  RoundOutcome outcome;
+  outcome.reports.reserve(arrived.size());
+  for (const ServerReport& r : arrived) {
+    // A report from a non-member (e.g. expelled last round, message in
+    // flight) is stale: ignore it.
+    if (std::find(members.begin(), members.end(), r.id) == members.end()) {
+      continue;
+    }
+    outcome.reports.push_back(r);
+    misses_[r.id] = 0;
+  }
+  for (const ServerId id : members) {
+    const bool heard =
+        std::any_of(outcome.reports.begin(), outcome.reports.end(),
+                    [id](const ServerReport& r) { return r.id == id; });
+    if (heard) continue;
+    const std::uint32_t count = ++misses_[id];
+    if (count >= config_.miss_threshold) {
+      outcome.suspects.push_back(id);
+      misses_.erase(id);
+    }
+  }
+  return outcome;
+}
+
+}  // namespace anufs::core

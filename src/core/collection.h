@@ -1,0 +1,62 @@
+// Report collection under message loss.
+//
+// The paper's delegate "examines all latencies" each period — but on a
+// real network a report can be delayed or lost without the server being
+// dead. Expelling a member on one missing report would make every
+// dropped packet a fake failure; never expelling would mask real
+// crashes. This collector implements the standard compromise: tune with
+// whatever reports arrived, and declare a server failed only after K
+// consecutive silent rounds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "core/tuner.h"
+
+namespace anufs::core {
+
+struct CollectionConfig {
+  /// Consecutive rounds of silence before a member is declared failed.
+  std::uint32_t miss_threshold = 3;
+};
+
+class ReportCollector {
+ public:
+  explicit ReportCollector(CollectionConfig config) : config_(config) {
+    ANUFS_EXPECTS(config.miss_threshold >= 1);
+  }
+
+  struct RoundOutcome {
+    /// Reports to feed the tuner this round (arrived members only).
+    std::vector<ServerReport> reports;
+    /// Members whose silence crossed the threshold: declare failed.
+    std::vector<ServerId> suspects;
+  };
+
+  /// Close one collection round. `members` is the current alive set;
+  /// `arrived` the reports that made it to the delegate in time.
+  /// Members without an arrived report accumulate a miss; an arrived
+  /// report clears the counter.
+  [[nodiscard]] RoundOutcome close_round(
+      const std::vector<ServerId>& members,
+      const std::vector<ServerReport>& arrived);
+
+  /// Membership changed (failure declared, server added): forget
+  /// counters for departed members, start fresh for newcomers.
+  void forget(ServerId id) { misses_.erase(id); }
+
+  [[nodiscard]] std::uint32_t misses(ServerId id) const {
+    const auto it = misses_.find(id);
+    return it == misses_.end() ? 0 : it->second;
+  }
+
+ private:
+  CollectionConfig config_;
+  std::map<ServerId, std::uint32_t> misses_;
+};
+
+}  // namespace anufs::core

@@ -1,0 +1,36 @@
+#include "core/delegate.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace anufs::core {
+
+std::optional<ServerId> Delegate::elect(const std::vector<ServerId>& alive) {
+  if (alive.empty()) return std::nullopt;
+  return *std::min_element(alive.begin(), alive.end());
+}
+
+TuneDecision Delegate::run_round(const std::vector<ServerReport>& reports,
+                                 const RegionMap& regions) {
+  ANUFS_EXPECTS(!reports.empty());
+  std::vector<ServerId> alive;
+  alive.reserve(reports.size());
+  for (const ServerReport& r : reports) alive.push_back(r.id);
+
+  const std::optional<ServerId> elected = elect(alive);
+  ANUFS_ENSURES(elected.has_value());
+  if (current_ != elected) {
+    if (current_.has_value()) {
+      // A different server took over: its predecessor's interval memory
+      // is gone. The protocol continues, minus divergent gating.
+      tuner_.reset_history();
+      ++failovers_;
+    }
+    current_ = elected;
+  }
+  ++rounds_;
+  return tuner_.retune(reports, regions);
+}
+
+}  // namespace anufs::core

@@ -1,0 +1,60 @@
+// The elected delegate: collects per-interval latencies, runs the tuner,
+// and publishes the new server-to-interval mapping (the only replicated
+// state in ANU).
+//
+// The load-update protocol is stateless: the delegate decides from the
+// reports of the CURRENT interval plus the current region map, both of
+// which any successor also has. The single exception is divergent
+// tuning's previous-latency memory, which is delegate-local and simply
+// lost on failover — the paper's stated degraded behaviour, reproduced
+// here by resetting the tuner history whenever the elected delegate
+// changes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/tuner.h"
+
+namespace anufs::core {
+
+class Delegate {
+ public:
+  explicit Delegate(TunerConfig config) : tuner_(config) {}
+
+  /// Election rule: lowest alive server id. Any deterministic rule all
+  /// nodes agree on works; lowest-id is the classic choice.
+  [[nodiscard]] static std::optional<ServerId> elect(
+      const std::vector<ServerId>& alive);
+
+  /// Run one collection round on behalf of the currently elected
+  /// delegate. Detects failover (a different server elected than last
+  /// round) and drops divergent-tuning history accordingly.
+  [[nodiscard]] TuneDecision run_round(
+      const std::vector<ServerReport>& reports, const RegionMap& regions);
+
+  /// The server that acted as delegate in the last round.
+  [[nodiscard]] std::optional<ServerId> current() const noexcept {
+    return current_;
+  }
+
+  /// Number of rounds executed (== configuration version counter).
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+
+  /// Number of failovers observed.
+  [[nodiscard]] std::uint64_t failovers() const noexcept {
+    return failovers_;
+  }
+
+  [[nodiscard]] LatencyTuner& tuner() noexcept { return tuner_; }
+
+ private:
+  LatencyTuner tuner_;
+  std::optional<ServerId> current_;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t failovers_ = 0;
+};
+
+}  // namespace anufs::core

@@ -1,0 +1,116 @@
+#include "core/pairwise_tuner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "hash/unit_interval.h"
+#include "sim/random.h"
+
+namespace anufs::core {
+
+using hash::kHalfInterval;
+
+PairwiseTuner::PairwiseTuner(PairwiseConfig config) : config_(config) {
+  ANUFS_EXPECTS(config.tolerance >= 0.0);
+  ANUFS_EXPECTS(config.max_scale > 1.0);
+  ANUFS_EXPECTS(config.damping > 0.0 && config.damping <= 1.0);
+}
+
+std::vector<ServerId> PairwiseTuner::matching(
+    std::uint64_t round, std::vector<ServerId> alive) const {
+  std::sort(alive.begin(), alive.end());
+  // Deterministic Fisher-Yates keyed by (seed, round): every node
+  // computes the identical matching with no communication.
+  sim::Xoshiro256 rng = sim::make_stream(config_.seed, "pairwise", round);
+  for (std::size_t i = alive.size(); i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    std::swap(alive[i - 1], alive[j]);
+  }
+  return alive;
+}
+
+TuneDecision PairwiseTuner::retune(const std::vector<ServerReport>& reports,
+                                   const RegionMap& regions) {
+  ANUFS_EXPECTS(!reports.empty());
+  ANUFS_EXPECTS(regions.total_share() == kHalfInterval);
+
+  TuneDecision decision;
+  decision.system_average =
+      LatencyTuner::system_average(reports, AverageKind::kWeightedMean);
+
+  std::map<ServerId, const ServerReport*> by_id;
+  std::vector<ServerId> alive;
+  for (const ServerReport& r : reports) {
+    by_id[r.id] = &r;
+    alive.push_back(r.id);
+  }
+
+  std::map<ServerId, Measure> target;
+  for (const ServerId id : alive) target[id] = regions.share(id);
+
+  const std::vector<ServerId> order = matching(round_, alive);
+  ++round_;
+
+  for (std::size_t k = 0; k + 1 < order.size(); k += 2) {
+    const ServerReport& a = *by_id.at(order[k]);
+    const ServerReport& b = *by_id.at(order[k + 1]);
+    // Identify hot and cold within the pair. Idle servers (no samples)
+    // count as cold with latency 0 and can only RECEIVE measure.
+    const ServerReport& hot = a.mean_latency >= b.mean_latency ? a : b;
+    const ServerReport& cold = a.mean_latency >= b.mean_latency ? b : a;
+    if (hot.requests == 0) continue;  // both idle
+    if (hot.mean_latency <=
+        (1.0 + config_.tolerance) * cold.mean_latency) {
+      continue;  // within tolerance: no exchange
+    }
+    if (config_.divergent) {
+      // The hot server checks its own trajectory before shedding again:
+      // if the last exchange is still draining (latency falling), wait.
+      const auto hot_it = prev_latency_.find(hot.id);
+      if (hot_it != prev_latency_.end() &&
+          hot.mean_latency < hot_it->second) {
+        continue;
+      }
+      // The cold side refuses while its own latency is rising: it is
+      // still absorbing a previous acceptance.
+      const auto cold_it = prev_latency_.find(cold.id);
+      if (cold_it != prev_latency_.end() && cold.requests > 0 &&
+          cold.mean_latency > cold_it->second) {
+        continue;
+      }
+    }
+    // The scale the centralized rule would apply toward the pair mean,
+    // clamped and damped. delta is what hot sheds and cold gains.
+    const double pair_mean = 0.5 * (hot.mean_latency + cold.mean_latency);
+    const double factor =
+        std::max(pair_mean / hot.mean_latency, 1.0 / config_.max_scale);
+    const Measure hot_share = target.at(hot.id);
+    const auto correction = static_cast<Measure>(
+        static_cast<long double>(hot_share) *
+        static_cast<long double>((1.0 - factor) * config_.damping));
+    // Respect the floor on the shedding side.
+    const Measure floor_room =
+        hot_share > config_.min_share ? hot_share - config_.min_share : 0;
+    const Measure delta = std::min(correction, floor_room);
+    if (delta == 0) continue;
+    target[hot.id] -= delta;
+    target[cold.id] += delta;  // pair-local conservation
+    decision.explicitly_scaled.push_back(hot.id);
+    decision.explicitly_scaled.push_back(cold.id);
+  }
+
+  // Refresh each server's locally-remembered latency.
+  for (const ServerReport& r : reports) prev_latency_[r.id] = r.mean_latency;
+
+  Measure sum = 0;
+  decision.targets.reserve(alive.size());
+  for (const ServerReport& r : reports) {
+    decision.targets.emplace_back(r.id, target.at(r.id));
+    sum += target.at(r.id);
+    if (target.at(r.id) != regions.share(r.id)) decision.acted = true;
+  }
+  ANUFS_ENSURES(sum == kHalfInterval);  // conservation, exactly
+  return decision;
+}
+
+}  // namespace anufs::core

@@ -1,0 +1,19 @@
+#include "core/partition_space.h"
+
+#include <bit>
+
+namespace anufs::core {
+
+std::uint32_t PartitionSpace::required_partitions(std::uint32_t n_servers) {
+  const std::uint32_t minimum = 2 * (n_servers + 1);
+  const std::uint32_t p = std::bit_ceil(minimum);
+  return p < 4 ? 4 : p;
+}
+
+PartitionSpace::PartitionSpace(std::uint32_t n_partitions) {
+  ANUFS_EXPECTS(n_partitions >= 4);
+  ANUFS_EXPECTS(std::has_single_bit(n_partitions));
+  log2_count_ = static_cast<std::uint32_t>(std::countr_zero(n_partitions));
+}
+
+}  // namespace anufs::core

@@ -1,0 +1,75 @@
+// The partitioned unit interval.
+//
+// ANU randomization divides [0,1) into P equal partitions with
+// P >= 2(n+1) for n servers. We restrict P to powers of two: partition
+// boundaries are then exact in fixed point, partition lookup is a shift,
+// and the re-partitioning the paper performs when servers are added
+// ("further partitioning the unit interval does not move any existing
+// load") is a doubling that preserves every existing boundary.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "hash/unit_interval.h"
+
+namespace anufs::core {
+
+using hash::Measure;
+using hash::Pos;
+
+class PartitionSpace {
+ public:
+  /// Smallest power-of-two partition count satisfying P >= 2(n+1).
+  [[nodiscard]] static std::uint32_t required_partitions(
+      std::uint32_t n_servers);
+
+  /// `n_partitions` must be a power of two >= 4.
+  explicit PartitionSpace(std::uint32_t n_partitions);
+
+  [[nodiscard]] std::uint32_t count() const noexcept {
+    return std::uint32_t{1} << log2_count_;
+  }
+
+  [[nodiscard]] std::uint32_t log2_count() const noexcept {
+    return log2_count_;
+  }
+
+  /// Exact measure of one partition: 2^(64 - log2 P).
+  [[nodiscard]] Measure partition_size() const noexcept {
+    return Measure{1} << (64u - log2_count_);
+  }
+
+  /// Start position of partition p.
+  [[nodiscard]] Pos partition_start(std::uint32_t p) const {
+    ANUFS_EXPECTS(p < count());
+    return static_cast<Pos>(p) << (64u - log2_count_);
+  }
+
+  /// Partition containing position x.
+  [[nodiscard]] std::uint32_t partition_of(Pos x) const noexcept {
+    return static_cast<std::uint32_t>(x >> (64u - log2_count_));
+  }
+
+  /// Offset of x within its partition.
+  [[nodiscard]] Measure offset_in_partition(Pos x) const noexcept {
+    return x & (partition_size() - 1);
+  }
+
+  /// True when P satisfies the paper's bound for `n_servers` servers.
+  [[nodiscard]] bool sufficient_for(std::uint32_t n_servers) const noexcept {
+    return count() >= 2 * (n_servers + 1);
+  }
+
+  /// Double the partition count (split every partition in two). All
+  /// existing boundaries remain boundaries: no load moves.
+  void double_count() {
+    ANUFS_EXPECTS(log2_count_ < 32);
+    ++log2_count_;
+  }
+
+ private:
+  std::uint32_t log2_count_;
+};
+
+}  // namespace anufs::core

@@ -1,0 +1,28 @@
+#include "core/placement.h"
+
+namespace anufs::core {
+
+LocateResult PlacementMap::locate(std::uint64_t fingerprint) const {
+  ANUFS_EXPECTS(regions_.server_count() > 0);
+  LocateResult result;
+  for (std::uint32_t round = 0; round < config_.max_rounds; ++round) {
+    const hash::Pos pos = family_.probe(fingerprint, round);
+    ++result.probes;
+    if (const auto owner = regions_.owner_at(pos)) {
+      result.server = *owner;
+      result.position = pos;
+      return result;
+    }
+  }
+  // Direct-to-server fallback: deterministic over the sorted alive list,
+  // so every node resolves identically without coordination.
+  const std::vector<ServerId> ids = regions_.server_ids();
+  const std::uint32_t idx = family_.fallback_server(
+      fingerprint, static_cast<std::uint32_t>(ids.size()));
+  ++result.probes;
+  result.fallback = true;
+  result.server = ids[idx];
+  return result;
+}
+
+}  // namespace anufs::core

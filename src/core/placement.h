@@ -1,0 +1,77 @@
+// File-set placement: the probe sequence over the unit interval.
+//
+// locate() hashes a file set's fingerprint with H_0; if the position lies
+// in a mapped region, the owning server is the answer. Otherwise it
+// re-hashes with H_1, H_2, ... ("re-hashing is performed using the next
+// hash function among an agreed upon family"). After max_rounds failures
+// (probability 2^-max_rounds under half occupancy) the fingerprint is
+// hashed DIRECTLY to a server. Locating a file set does no I/O and needs
+// only the replicated region map: this is the paper's scalable addressing
+// property.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "core/region_map.h"
+#include "hash/hash_family.h"
+
+namespace anufs::core {
+
+struct PlacementConfig {
+  /// Probe rounds before the direct-to-server fallback. At half
+  /// occupancy each round misses with probability 1/2, so the fallback
+  /// fires with probability 2^-max_rounds (~1.5e-5 at 16) and the mean
+  /// probe count is < 2.
+  std::uint32_t max_rounds = 16;
+  /// Cluster-wide hash-family salt.
+  std::uint64_t salt = 0;
+};
+
+struct LocateResult {
+  ServerId server = kInvalidServer;
+  std::uint32_t probes = 0;  ///< hash evaluations performed
+  bool fallback = false;     ///< true when the direct hash decided
+  hash::Pos position = 0;    ///< the deciding probe position (if !fallback)
+};
+
+/// Region map + hash family + probe policy: everything a node needs to
+/// route any request. Copyable; the copy is the "replicated state".
+class PlacementMap {
+ public:
+  PlacementMap(PlacementConfig config, std::uint32_t n_partitions)
+      : config_(config), family_(config.salt), regions_(n_partitions) {
+    ANUFS_EXPECTS(config.max_rounds >= 1);
+  }
+
+  [[nodiscard]] static PlacementMap for_servers(PlacementConfig config,
+                                                std::uint32_t n_servers) {
+    return PlacementMap(config,
+                        PartitionSpace::required_partitions(n_servers));
+  }
+
+  [[nodiscard]] RegionMap& regions() noexcept { return regions_; }
+  [[nodiscard]] const RegionMap& regions() const noexcept { return regions_; }
+  [[nodiscard]] const hash::HashFamily& family() const noexcept {
+    return family_;
+  }
+  [[nodiscard]] const PlacementConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Resolve a fingerprint to its owning server. Requires at least one
+  /// registered server.
+  [[nodiscard]] LocateResult locate(std::uint64_t fingerprint) const;
+
+  [[nodiscard]] ServerId locate_server(std::uint64_t fingerprint) const {
+    return locate(fingerprint).server;
+  }
+
+ private:
+  PlacementConfig config_;
+  hash::HashFamily family_;
+  RegionMap regions_;
+};
+
+}  // namespace anufs::core

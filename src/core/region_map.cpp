@@ -1,0 +1,296 @@
+#include "core/region_map.h"
+
+#include <algorithm>
+
+namespace anufs::core {
+
+RegionMap::RegionMap(std::uint32_t n_partitions) : space_(n_partitions) {
+  parts_.resize(space_.count());
+  for (std::uint32_t p = 0; p < space_.count(); ++p) free_.insert(p);
+}
+
+void RegionMap::add_server(ServerId id) {
+  const auto [it, inserted] = servers_.emplace(id, ServerRegions{});
+  ANUFS_EXPECTS(inserted);
+  (void)it;
+}
+
+void RegionMap::remove_server(ServerId id) {
+  const auto it = servers_.find(id);
+  ANUFS_EXPECTS(it != servers_.end());
+  ServerRegions& sr = it->second;
+  for (const std::uint32_t p : sr.full) release_partition(p);
+  if (sr.partial) release_partition(*sr.partial);
+  total_ -= sr.share;
+  servers_.erase(it);
+}
+
+std::vector<ServerId> RegionMap::server_ids() const {
+  std::vector<ServerId> out;
+  out.reserve(servers_.size());
+  for (const auto& [id, sr] : servers_) out.push_back(id);
+  return out;
+}
+
+void RegionMap::release_partition(std::uint32_t p) {
+  parts_[p] = PartitionState{};
+  free_.insert(p);
+}
+
+void RegionMap::claim_free(ServerId id, ServerRegions& sr, Measure fill) {
+  ANUFS_EXPECTS(fill > 0 && fill <= part_size());
+  ANUFS_ENSURES(!free_.empty());  // guaranteed by P >= 2(n+1), see header
+  const std::uint32_t p = *free_.begin();
+  free_.erase(free_.begin());
+  parts_[p] = PartitionState{id, fill};
+  if (fill == part_size()) {
+    sr.full.insert(p);
+  } else {
+    ANUFS_ENSURES(!sr.partial.has_value());
+    sr.partial = p;
+  }
+}
+
+void RegionMap::grow(ServerId id, ServerRegions& sr, Measure delta) {
+  const Measure ps = part_size();
+  // 1. Top up the existing partial partition in place.
+  if (delta > 0 && sr.partial) {
+    const std::uint32_t p = *sr.partial;
+    const Measure headroom = ps - parts_[p].fill;
+    const Measure take = std::min(delta, headroom);
+    parts_[p].fill += take;
+    delta -= take;
+    if (parts_[p].fill == ps) {
+      sr.full.insert(p);
+      sr.partial.reset();
+    }
+  }
+  // 2. Claim whole free partitions.
+  while (delta >= ps) {
+    claim_free(id, sr, ps);
+    delta -= ps;
+  }
+  // 3. Start a fresh partial for the remainder.
+  if (delta > 0) claim_free(id, sr, delta);
+}
+
+void RegionMap::shrink(ServerId id, ServerRegions& sr, Measure delta) {
+  (void)id;
+  const Measure ps = part_size();
+  // 1. Trim the partial partition first (it is the region's "top").
+  if (delta > 0 && sr.partial) {
+    const std::uint32_t p = *sr.partial;
+    const Measure take = std::min(delta, parts_[p].fill);
+    parts_[p].fill -= take;
+    delta -= take;
+    if (parts_[p].fill == 0) {
+      release_partition(p);
+      sr.partial.reset();
+    }
+  }
+  // 2. Release whole full partitions (highest-numbered first, so a
+  //    server's low partitions stay put across repeated reshaping).
+  while (delta >= ps) {
+    ANUFS_ENSURES(!sr.full.empty());
+    const auto last = std::prev(sr.full.end());
+    release_partition(*last);
+    sr.full.erase(last);
+    delta -= ps;
+  }
+  // 3. Convert one full partition into the new partial.
+  if (delta > 0) {
+    ANUFS_ENSURES(!sr.full.empty() && !sr.partial.has_value());
+    const auto last = std::prev(sr.full.end());
+    const std::uint32_t p = *last;
+    sr.full.erase(last);
+    parts_[p].fill = ps - delta;
+    sr.partial = p;
+  }
+}
+
+void RegionMap::resize(ServerId id, Measure target) {
+  const auto it = servers_.find(id);
+  ANUFS_EXPECTS(it != servers_.end());
+  ServerRegions& sr = it->second;
+  if (target > sr.share) {
+    const Measure delta = target - sr.share;
+    grow(id, sr, delta);
+    total_ += delta;
+  } else if (target < sr.share) {
+    const Measure delta = sr.share - target;
+    shrink(id, sr, delta);
+    total_ -= delta;
+  }
+  sr.share = target;
+}
+
+void RegionMap::rebalance_to(
+    const std::vector<std::pair<ServerId, Measure>>& targets) {
+  // Shrinks first: frees the measure the grows will claim. Both passes
+  // iterate in ServerId order for determinism.
+  std::vector<std::pair<ServerId, Measure>> sorted = targets;
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& [id, target] : sorted) {
+    if (target < share(id)) resize(id, target);
+  }
+  for (const auto& [id, target] : sorted) {
+    if (target > share(id)) resize(id, target);
+  }
+  ANUFS_ENSURES(total_ <= hash::kHalfInterval);
+}
+
+void RegionMap::repartition_double() {
+  space_.double_count();
+  const Measure new_ps = space_.partition_size();
+  const auto old_count = static_cast<std::uint32_t>(parts_.size());
+  std::vector<PartitionState> next(std::size_t{2} * old_count);
+  for (std::uint32_t p = 0; p < old_count; ++p) {
+    const PartitionState& st = parts_[p];
+    if (st.fill == 0) continue;
+    // Split the prefix [0, fill) across the two children.
+    next[2 * p] = PartitionState{st.owner, std::min(st.fill, new_ps)};
+    if (st.fill > new_ps) {
+      next[2 * p + 1] = PartitionState{st.owner, st.fill - new_ps};
+    }
+  }
+  parts_ = std::move(next);
+  // Rebuild the per-server and free-list indexes; shares are unchanged.
+  free_.clear();
+  for (auto& [id, sr] : servers_) {
+    sr.full.clear();
+    sr.partial.reset();
+  }
+  for (std::uint32_t p = 0; p < parts_.size(); ++p) {
+    const PartitionState& st = parts_[p];
+    if (st.fill == 0) {
+      free_.insert(p);
+    } else if (st.fill == new_ps) {
+      servers_.at(st.owner).full.insert(p);
+    } else {
+      auto& sr = servers_.at(st.owner);
+      ANUFS_ENSURES(!sr.partial.has_value());
+      sr.partial = p;
+    }
+  }
+}
+
+std::optional<ServerId> RegionMap::owner_at(Pos x) const {
+  const std::uint32_t p = space_.partition_of(x);
+  const PartitionState& st = parts_[p];
+  if (st.fill == 0) return std::nullopt;
+  if (space_.offset_in_partition(x) < st.fill) return st.owner;
+  return std::nullopt;
+}
+
+Measure RegionMap::share(ServerId id) const {
+  const auto it = servers_.find(id);
+  ANUFS_EXPECTS(it != servers_.end());
+  return it->second.share;
+}
+
+std::vector<Segment> RegionMap::segments(ServerId id) const {
+  const auto it = servers_.find(id);
+  ANUFS_EXPECTS(it != servers_.end());
+  const ServerRegions& sr = it->second;
+  std::vector<std::uint32_t> owned(sr.full.begin(), sr.full.end());
+  if (sr.partial) owned.push_back(*sr.partial);
+  std::sort(owned.begin(), owned.end());
+
+  std::vector<Segment> out;
+  for (const std::uint32_t p : owned) {
+    const Pos begin = space_.partition_start(p);
+    const Pos end = begin + parts_[p].fill;  // may wrap to 0 at the top
+    if (!out.empty() && out.back().end == begin &&
+        space_.offset_in_partition(out.back().end) == 0) {
+      out.back().end = end;  // merge with a preceding full partition
+    } else {
+      out.push_back(Segment{begin, end});
+    }
+  }
+  return out;
+}
+
+std::vector<RegionMap::PartitionRecord> RegionMap::dump() const {
+  std::vector<PartitionRecord> records;
+  for (std::uint32_t p = 0; p < parts_.size(); ++p) {
+    if (parts_[p].fill == 0) continue;
+    records.push_back(PartitionRecord{p, parts_[p].owner, parts_[p].fill});
+  }
+  return records;
+}
+
+RegionMap RegionMap::restore(std::uint32_t n_partitions,
+                             const std::vector<ServerId>& all_servers,
+                             const std::vector<RegionMap::PartitionRecord>&
+                                 records) {
+  RegionMap map(n_partitions);
+  for (const ServerId id : all_servers) map.add_server(id);
+  const Measure ps = map.part_size();
+  for (const PartitionRecord& rec : records) {
+    ANUFS_EXPECTS(rec.index < map.space().count());
+    ANUFS_EXPECTS(rec.fill > 0 && rec.fill <= ps);
+    ANUFS_EXPECTS(map.servers_.contains(rec.owner));
+    ANUFS_EXPECTS(map.parts_[rec.index].fill == 0);  // no duplicates
+    map.parts_[rec.index] = PartitionState{rec.owner, rec.fill};
+    map.free_.erase(rec.index);
+    ServerRegions& sr = map.servers_.at(rec.owner);
+    if (rec.fill == ps) {
+      sr.full.insert(rec.index);
+    } else {
+      ANUFS_EXPECTS(!sr.partial.has_value());  // one-partial invariant
+      sr.partial = rec.index;
+    }
+    sr.share += rec.fill;
+    map.total_ += rec.fill;
+  }
+  map.check_invariants();
+  return map;
+}
+
+void RegionMap::check_invariants() const {
+  const Measure ps = part_size();
+  // Partition-level consistency.
+  Measure fill_total = 0;
+  std::uint32_t free_seen = 0;
+  for (std::uint32_t p = 0; p < parts_.size(); ++p) {
+    const PartitionState& st = parts_[p];
+    ANUFS_ENSURES(st.fill <= ps);
+    if (st.fill == 0) {
+      ANUFS_ENSURES(free_.contains(p));
+      ++free_seen;
+    } else {
+      ANUFS_ENSURES(!free_.contains(p));
+      ANUFS_ENSURES(servers_.contains(st.owner));
+    }
+    fill_total += st.fill;
+  }
+  ANUFS_ENSURES(free_seen == free_.size());
+  ANUFS_ENSURES(fill_total == total_);
+
+  // Server-level consistency: share accounting and the one-partial rule.
+  Measure share_total = 0;
+  for (const auto& [id, sr] : servers_) {
+    Measure s = 0;
+    for (const std::uint32_t p : sr.full) {
+      ANUFS_ENSURES(parts_[p].owner == id && parts_[p].fill == ps);
+      s += ps;
+    }
+    if (sr.partial) {
+      const std::uint32_t p = *sr.partial;
+      ANUFS_ENSURES(parts_[p].owner == id);
+      ANUFS_ENSURES(parts_[p].fill > 0 && parts_[p].fill < ps);
+      s += parts_[p].fill;
+    }
+    ANUFS_ENSURES(s == sr.share);
+    share_total += s;
+  }
+  ANUFS_ENSURES(share_total == total_);
+
+  // Free-partition guarantee (paper Section 4): at half occupancy with
+  // P >= 2(n+1) there is always somewhere to put a recovered server.
+  if (total_ == hash::kHalfInterval && space_.sufficient_for(server_count())) {
+    ANUFS_ENSURES(!free_.empty());
+  }
+}
+
+}  // namespace anufs::core

@@ -1,0 +1,172 @@
+// Server mapped-region allocator over the partitioned unit interval.
+//
+// This is the SIEVE-style bookkeeping at the heart of ANU randomization
+// (Brinkmann et al. 2002, as adapted by Wu & Burns). Representation:
+//
+//  * each partition is owned by AT MOST ONE server, as a prefix
+//    [start, start + fill) of the partition (fill in (0, size]);
+//  * a server owns any number of FULL partitions plus at most one
+//    PARTIAL partition ("a server completely occupies all but one
+//    sub-region, which may be partially occupied");
+//  * the total measure of all regions is exactly half the unit interval
+//    (the half-occupancy invariant), in exact fixed-point arithmetic.
+//
+// One-owner-per-partition is how the paper's figures draw the interval
+// (each shaded sub-region belongs to a single server) and, combined with
+// P >= 2(n+1), it guarantees constructively that (a) a wholly free
+// partition always exists for a recovering server and (b) any
+// shrink-first/grow-second reshaping succeeds without relocating any
+// occupied segment — which is what gives ANU its minimal-movement and
+// cache-preservation properties.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/partition_space.h"
+#include "hash/unit_interval.h"
+
+namespace anufs::core {
+
+/// One contiguous piece of a server's mapped region, for introspection.
+struct Segment {
+  Pos begin = 0;
+  Pos end = 0;  // exclusive; end - begin == measure (end may be 0 == 2^64
+                // only for a segment reaching the top, which cannot occur
+                // because a prefix of the last partition never reaches 2^64
+                // unless the partition is full; we store end-exclusive as
+                // begin + fill which never wraps for fill <= size and
+                // begin + size <= 2^64 - handled via unsigned wrap at top).
+  [[nodiscard]] Measure measure() const noexcept { return end - begin; }
+};
+
+/// The full placement state replicated to every server: O(n) in the
+/// number of servers, independent of the number of file sets.
+class RegionMap {
+ public:
+  /// Starts with `n_partitions` (power of two >= 4) and no servers.
+  explicit RegionMap(std::uint32_t n_partitions);
+
+  /// Convenience: sized for `n_servers` per the paper's bound.
+  [[nodiscard]] static RegionMap for_servers(std::uint32_t n_servers) {
+    return RegionMap(PartitionSpace::required_partitions(n_servers));
+  }
+
+  // ---- membership -------------------------------------------------------
+
+  /// Register a server with an empty region. Fails if already present.
+  void add_server(ServerId id);
+
+  /// Release every partition the server owns and deregister it. The
+  /// freed measure becomes unmapped space (callers restore
+  /// half-occupancy by growing survivors; see rebalance_to).
+  void remove_server(ServerId id);
+
+  [[nodiscard]] bool has_server(ServerId id) const {
+    return servers_.contains(id);
+  }
+
+  [[nodiscard]] std::vector<ServerId> server_ids() const;
+
+  [[nodiscard]] std::uint32_t server_count() const noexcept {
+    return static_cast<std::uint32_t>(servers_.size());
+  }
+
+  // ---- shaping ----------------------------------------------------------
+
+  /// Grow or shrink one server's region to exactly `target` measure.
+  /// Growth claims only the server's own partial headroom and wholly
+  /// free partitions; shrinking releases a suffix of its region. Either
+  /// direction relocates nothing that remains mapped.
+  void resize(ServerId id, Measure target);
+
+  /// Atomically reshape every server to the given targets (servers not
+  /// listed keep their share). Shrinks are applied before grows, which
+  /// guarantees success whenever the targets sum to <= kHalfInterval and
+  /// the partition bound P >= 2(n+1) holds.
+  void rebalance_to(const std::vector<std::pair<ServerId, Measure>>& targets);
+
+  /// Double the partition count. Preserves every boundary; no load moves.
+  /// Called when added servers push P below 2(n+1).
+  void repartition_double();
+
+  // ---- queries ----------------------------------------------------------
+
+  /// Owner of position x, or nullopt when x lies in unmapped space.
+  [[nodiscard]] std::optional<ServerId> owner_at(Pos x) const;
+
+  /// Current measure of a server's mapped region.
+  [[nodiscard]] Measure share(ServerId id) const;
+
+  /// Sum of all shares.
+  [[nodiscard]] Measure total_share() const noexcept { return total_; }
+
+  [[nodiscard]] const PartitionSpace& space() const noexcept { return space_; }
+
+  /// Partitions owned by nobody.
+  [[nodiscard]] std::uint32_t free_partition_count() const noexcept {
+    return static_cast<std::uint32_t>(free_.size());
+  }
+
+  /// The server's region as maximal disjoint segments, sorted by begin.
+  [[nodiscard]] std::vector<Segment> segments(ServerId id) const;
+
+  /// Abort if any structural invariant is violated (used by tests and
+  /// after every mutating operation in debug-heavy paths).
+  void check_invariants() const;
+
+  // ---- serialization support (see core/replication.h) -------------------
+
+  /// One partition's persisted state.
+  struct PartitionRecord {
+    std::uint32_t index = 0;
+    ServerId owner;
+    Measure fill = 0;
+  };
+
+  /// Dump every occupied partition, index-ordered.
+  [[nodiscard]] std::vector<PartitionRecord> dump() const;
+
+  /// Rebuild a map from dumped state. `all_servers` must list every
+  /// registered server (including zero-share ones, which own no
+  /// partition and so do not appear in the records). Validates all
+  /// structural invariants; aborts on inconsistent input.
+  [[nodiscard]] static RegionMap restore(
+      std::uint32_t n_partitions,
+      const std::vector<ServerId>& all_servers,
+      const std::vector<PartitionRecord>& records);
+
+ private:
+  struct ServerRegions {
+    std::set<std::uint32_t> full;              // fully-owned partitions
+    std::optional<std::uint32_t> partial;      // at most one
+    Measure share = 0;
+  };
+
+  [[nodiscard]] Measure part_size() const noexcept {
+    return space_.partition_size();
+  }
+
+  void grow(ServerId id, ServerRegions& sr, Measure delta);
+  void shrink(ServerId id, ServerRegions& sr, Measure delta);
+  // Claim the lowest-numbered free partition for `id` with `fill` measure.
+  void claim_free(ServerId id, ServerRegions& sr, Measure fill);
+  void release_partition(std::uint32_t p);
+
+  PartitionSpace space_;
+  // Per-partition owner and prefix fill; fill == 0 <=> unowned.
+  struct PartitionState {
+    ServerId owner = kInvalidServer;
+    Measure fill = 0;
+  };
+  std::vector<PartitionState> parts_;
+  std::set<std::uint32_t> free_;               // unowned partitions
+  std::map<ServerId, ServerRegions> servers_;  // ordered => deterministic
+  Measure total_ = 0;
+};
+
+}  // namespace anufs::core

@@ -1,0 +1,114 @@
+#include "core/replication.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace anufs::core {
+
+namespace {
+
+[[noreturn]] void parse_failure(std::size_t line_no, const char* what) {
+  std::fprintf(stderr, "anufs-placement: parse error at line %zu: %s\n",
+               line_no, what);
+  std::abort();
+}
+
+}  // namespace
+
+PlacementSnapshot snapshot(const PlacementMap& map, std::uint64_t version) {
+  PlacementSnapshot snap;
+  snap.version = version;
+  snap.config = map.config();
+  snap.partitions = map.regions().space().count();
+  snap.servers = map.regions().server_ids();
+  snap.regions = map.regions().dump();
+  return snap;
+}
+
+PlacementMap apply(const PlacementSnapshot& snap) {
+  PlacementMap map(snap.config, snap.partitions);
+  map.regions() =
+      RegionMap::restore(snap.partitions, snap.servers, snap.regions);
+  return map;
+}
+
+void write_snapshot(std::ostream& os, const PlacementSnapshot& snap) {
+  os << "# anufs-placement v1\n";
+  os << "version " << snap.version << "\n";
+  os << "salt " << snap.config.salt << "\n";
+  os << "max_rounds " << snap.config.max_rounds << "\n";
+  os << "partitions " << snap.partitions << "\n";
+  for (const ServerId id : snap.servers) {
+    os << "server " << id.value << "\n";
+  }
+  for (const RegionMap::PartitionRecord& rec : snap.regions) {
+    os << "region " << rec.index << ' ' << rec.owner.value << ' '
+       << rec.fill << "\n";
+  }
+}
+
+PlacementSnapshot read_snapshot(std::istream& is) {
+  PlacementSnapshot snap;
+  std::string line;
+  std::size_t line_no = 0;
+  if (!std::getline(is, line) ||
+      line.rfind("# anufs-placement v1", 0) != 0) {
+    parse_failure(1, "missing '# anufs-placement v1' magic");
+  }
+  ++line_no;
+  bool saw_partitions = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ss(line);
+    std::string kind;
+    if (!(ss >> kind) || kind[0] == '#') continue;
+    if (kind == "version") {
+      if (!(ss >> snap.version)) parse_failure(line_no, "bad version");
+    } else if (kind == "salt") {
+      if (!(ss >> snap.config.salt)) parse_failure(line_no, "bad salt");
+    } else if (kind == "max_rounds") {
+      if (!(ss >> snap.config.max_rounds) || snap.config.max_rounds == 0) {
+        parse_failure(line_no, "bad max_rounds");
+      }
+    } else if (kind == "partitions") {
+      if (!(ss >> snap.partitions) || snap.partitions < 4) {
+        parse_failure(line_no, "bad partitions");
+      }
+      saw_partitions = true;
+    } else if (kind == "server") {
+      std::uint32_t id = 0;
+      if (!(ss >> id)) parse_failure(line_no, "bad server record");
+      snap.servers.push_back(ServerId{id});
+    } else if (kind == "region") {
+      RegionMap::PartitionRecord rec;
+      std::uint32_t owner = 0;
+      if (!(ss >> rec.index >> owner >> rec.fill) || rec.fill == 0) {
+        parse_failure(line_no, "bad region record");
+      }
+      rec.owner = ServerId{owner};
+      snap.regions.push_back(rec);
+    } else {
+      parse_failure(line_no, "unknown record kind");
+    }
+  }
+  if (!saw_partitions) parse_failure(line_no, "missing partitions record");
+  return snap;
+}
+
+std::string encode_snapshot(const PlacementSnapshot& snap) {
+  std::ostringstream os;
+  write_snapshot(os, snap);
+  return os.str();
+}
+
+PlacementSnapshot decode_snapshot(const std::string& text) {
+  std::istringstream is(text);
+  return read_snapshot(is);
+}
+
+}  // namespace anufs::core

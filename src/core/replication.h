@@ -1,0 +1,62 @@
+// Replicated-state serialization: the wire/disk form of the mapping the
+// delegate distributes after every reconfiguration.
+//
+// "The delegate distributes a new mapping of servers to the unit
+// interval to all servers. This is the only replicated state needed by
+// our algorithm." (§4) — and it is O(n) in servers, never in file sets
+// (§5). This module makes that concrete: a versioned, line-oriented
+// text encoding of the placement map that any node can apply to answer
+// locate() identically.
+//
+// Format:
+//
+//   # anufs-placement v1
+//   version <u64>
+//   salt <u64>
+//   max_rounds <u32>
+//   partitions <u32>
+//   server <id>
+//   ...
+//   region <partition-index> <owner-id> <fill>
+//   ...
+//
+// Deterministic: serializing the same state always yields the same
+// bytes, so replicas can be integrity-compared byte-wise.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/placement.h"
+
+namespace anufs::core {
+
+/// A versioned snapshot of the replicated state.
+struct PlacementSnapshot {
+  std::uint64_t version = 0;
+  PlacementConfig config;
+  std::uint32_t partitions = 0;
+  std::vector<ServerId> servers;
+  std::vector<RegionMap::PartitionRecord> regions;
+};
+
+/// Capture the replicated state of a placement map.
+[[nodiscard]] PlacementSnapshot snapshot(const PlacementMap& map,
+                                         std::uint64_t version);
+
+/// Rebuild a placement map from a snapshot (a replica applying the
+/// delegate's distribution). Aborts on inconsistent snapshots.
+[[nodiscard]] PlacementMap apply(const PlacementSnapshot& snap);
+
+/// Text encoding; deterministic.
+void write_snapshot(std::ostream& os, const PlacementSnapshot& snap);
+
+/// Parse; aborts with a diagnostic on malformed input.
+[[nodiscard]] PlacementSnapshot read_snapshot(std::istream& is);
+
+/// Convenience: serialize to / from a string.
+[[nodiscard]] std::string encode_snapshot(const PlacementSnapshot& snap);
+[[nodiscard]] PlacementSnapshot decode_snapshot(const std::string& text);
+
+}  // namespace anufs::core

@@ -1,0 +1,15 @@
+#include "disk/journal.h"
+
+#include <algorithm>
+
+namespace anufs::disk {
+
+void Journal::truncate_through(std::uint64_t through) {
+  const auto it = std::partition_point(
+      durable_.begin(), durable_.end(),
+      [through](const JournalRecord& r) { return r.lsn <= through; });
+  durable_.erase(durable_.begin(), it);
+  truncated_through_ = std::max(truncated_through_, through);
+}
+
+}  // namespace anufs::disk

@@ -1,0 +1,93 @@
+// Metadata write-ahead journal.
+//
+// Storage Tank metadata servers "store, serve, and WRITE file system
+// metadata" to shared disks; before a file set can move, the releasing
+// server "flushes its cache, writing all dirty data back to stable
+// storage" to create a consistent disk image (paper §4/§7). This module
+// is that machinery: every successful mutation appends a journal
+// record; flush() makes the volatile tail durable; recovery replays the
+// durable tail over the last checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "fsmeta/ops.h"
+
+namespace anufs::disk {
+
+/// One durable mutation record. Only mutations are journaled — reads
+/// leave no trace.
+struct JournalRecord {
+  std::uint64_t lsn = 0;  ///< log sequence number, dense from 1
+  fsmeta::OpKind kind = fsmeta::OpKind::kCreate;
+  std::string path;
+  std::string path2;        ///< rename destination
+  std::uint64_t size = 0;   ///< setattr payload
+  std::uint64_t mtime = 0;
+};
+
+/// Volatile + durable journal state for one file set.
+class Journal {
+ public:
+  /// Append a record to the VOLATILE tail (in the server's memory).
+  /// Returns its lsn.
+  std::uint64_t append(JournalRecord record) {
+    ANUFS_EXPECTS(fsmeta::is_mutation(record.kind));
+    record.lsn = next_lsn_++;
+    volatile_.push_back(std::move(record));
+    return next_lsn_ - 1;
+  }
+
+  /// Records appended but not yet durable — the "dirty cache" whose
+  /// size drives the flush cost at file-set movement time.
+  [[nodiscard]] std::size_t dirty_count() const noexcept {
+    return volatile_.size();
+  }
+
+  /// Make the volatile tail durable. Returns the number of records
+  /// that were flushed.
+  std::size_t flush() {
+    const std::size_t n = volatile_.size();
+    durable_.insert(durable_.end(),
+                    std::make_move_iterator(volatile_.begin()),
+                    std::make_move_iterator(volatile_.end()));
+    volatile_.clear();
+    return n;
+  }
+
+  /// Crash: the volatile tail is lost; durable records survive.
+  /// Returns the number of records lost.
+  std::size_t crash() {
+    const std::size_t n = volatile_.size();
+    volatile_.clear();
+    // lsns of lost records are never reused: a dense durable history
+    // with gaps at the end is exactly what a torn log looks like.
+    return n;
+  }
+
+  /// Durable records with lsn > `through` (the checkpoint's lsn).
+  [[nodiscard]] const std::vector<JournalRecord>& durable() const noexcept {
+    return durable_;
+  }
+
+  /// Truncate durable records with lsn <= `through` (after a
+  /// checkpoint made them redundant).
+  void truncate_through(std::uint64_t through);
+
+  [[nodiscard]] std::uint64_t last_durable_lsn() const noexcept {
+    return durable_.empty() ? truncated_through_ : durable_.back().lsn;
+  }
+
+  [[nodiscard]] std::uint64_t next_lsn() const noexcept { return next_lsn_; }
+
+ private:
+  std::vector<JournalRecord> volatile_;
+  std::vector<JournalRecord> durable_;
+  std::uint64_t next_lsn_ = 1;
+  std::uint64_t truncated_through_ = 0;
+};
+
+}  // namespace anufs::disk

@@ -1,0 +1,131 @@
+#include "disk/shared_disk.h"
+
+#include <sstream>
+
+namespace anufs::disk {
+
+namespace {
+
+/// Apply one journal record to a tree; aborts if the mutation does not
+/// replay cleanly (it succeeded in this order once, so it must again).
+void replay(fsmeta::NamespaceTree& tree, const JournalRecord& record) {
+  using fsmeta::OpKind;
+  using fsmeta::OpStatus;
+  OpStatus status = OpStatus::kOk;
+  switch (record.kind) {
+    case OpKind::kCreate:
+      status = tree.create(record.path, fsmeta::FileType::kFile).status;
+      break;
+    case OpKind::kMkdir:
+      status = tree.create(record.path, fsmeta::FileType::kDirectory).status;
+      break;
+    case OpKind::kUnlink:
+      status = tree.remove(record.path).status;
+      break;
+    case OpKind::kRename:
+      status = tree.rename(record.path, record.path2).status;
+      break;
+    case OpKind::kSetAttr:
+      status = tree.set_attr(record.path, record.size, record.mtime).status;
+      break;
+    default:
+      ANUFS_ENSURES(false && "non-mutation in journal");
+  }
+  ANUFS_ENSURES(status == OpStatus::kOk);
+}
+
+std::string serialize_tree(const fsmeta::NamespaceTree& tree) {
+  std::ostringstream os;
+  tree.serialize(os);
+  return os.str();
+}
+
+}  // namespace
+
+FileSetImage::FileSetImage() {
+  checkpoint_ = serialize_tree(fsmeta::NamespaceTree{});
+}
+
+void FileSetImage::write_checkpoint(const fsmeta::NamespaceTree& tree,
+                                    std::uint64_t through_lsn) {
+  ANUFS_EXPECTS(through_lsn >= checkpoint_lsn_);
+  checkpoint_ = serialize_tree(tree);
+  checkpoint_lsn_ = through_lsn;
+}
+
+fsmeta::NamespaceTree FileSetImage::recover(const Journal& journal) const {
+  std::istringstream is(checkpoint_);
+  fsmeta::NamespaceTree tree = fsmeta::NamespaceTree::deserialize(is);
+  for (const JournalRecord& record : journal.durable()) {
+    if (record.lsn <= checkpoint_lsn_) continue;  // covered by checkpoint
+    replay(tree, record);
+  }
+  tree.check_consistency();
+  return tree;
+}
+
+JournaledFileSet::JournaledFileSet(fsmeta::CostModel cost)
+    : service_(cost) {}
+
+void JournaledFileSet::bootstrap(const fsmeta::NamespaceTree& tree) {
+  ANUFS_EXPECTS(!crashed_);
+  ANUFS_EXPECTS(journal_.next_lsn() == 1);  // nothing happened yet
+  service_.tree() = tree;
+  image_.write_checkpoint(tree, 0);
+}
+
+fsmeta::OpResult JournaledFileSet::execute(const fsmeta::MetadataOp& op) {
+  ANUFS_EXPECTS(!crashed_);
+  const fsmeta::OpResult result = service_.execute(op);
+  if (result.status == fsmeta::OpStatus::kOk &&
+      fsmeta::is_mutation(op.kind)) {
+    JournalRecord record;
+    record.kind = op.kind;
+    record.path = op.path;
+    record.path2 = op.path2;
+    record.size = op.size;
+    record.mtime = op.mtime;
+    (void)journal_.append(std::move(record));
+  }
+  return result;
+}
+
+std::size_t JournaledFileSet::flush() {
+  ANUFS_EXPECTS(!crashed_);
+  return journal_.flush();
+}
+
+void JournaledFileSet::checkpoint() {
+  ANUFS_EXPECTS(!crashed_);
+  (void)journal_.flush();
+  image_.write_checkpoint(service_.tree(), journal_.last_durable_lsn());
+  journal_.truncate_through(image_.checkpoint_lsn());
+}
+
+std::size_t JournaledFileSet::crash() {
+  ANUFS_EXPECTS(!crashed_);
+  crashed_ = true;
+  return journal_.crash();
+}
+
+void JournaledFileSet::recover() {
+  ANUFS_EXPECTS(crashed_);
+  fsmeta::NamespaceTree recovered = image_.recover(journal_);
+  // The server restarts with the recovered tree; session locks are
+  // volatile by design (clients re-open after a failover).
+  fsmeta::MetadataService fresh(service_.cost());
+  fresh.tree() = std::move(recovered);
+  service_ = std::move(fresh);
+  crashed_ = false;
+}
+
+bool JournaledFileSet::image_is_consistent() const {
+  const fsmeta::NamespaceTree recovered = image_.recover(journal_);
+  std::ostringstream live;
+  service_.tree().serialize(live);
+  std::ostringstream from_disk;
+  recovered.serialize(from_disk);
+  return live.str() == from_disk.str();
+}
+
+}  // namespace anufs::disk

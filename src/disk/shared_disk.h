@@ -1,0 +1,108 @@
+// The shared-disk image of one file set: a checkpoint (serialized
+// namespace) plus the durable journal tail. Any server can read it;
+// exactly one serves it. This is what makes file-set movement cheap in
+// a shared-disk architecture — the data never moves, only the serving
+// responsibility.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "disk/journal.h"
+#include "fsmeta/metadata_service.h"
+
+namespace anufs::disk {
+
+/// Checkpoint + journal-tail image, and the recovery procedure.
+class FileSetImage {
+ public:
+  /// Empty image: recovery yields a fresh namespace (just the root).
+  FileSetImage();
+
+  /// Install a checkpoint: the serialized tree, covering every
+  /// mutation with lsn <= `through_lsn`.
+  void write_checkpoint(const fsmeta::NamespaceTree& tree,
+                        std::uint64_t through_lsn);
+
+  [[nodiscard]] std::uint64_t checkpoint_lsn() const noexcept {
+    return checkpoint_lsn_;
+  }
+
+  [[nodiscard]] std::size_t checkpoint_bytes() const noexcept {
+    return checkpoint_.size();
+  }
+
+  /// Rebuild the namespace from the checkpoint and replay the durable
+  /// journal records with lsn > checkpoint_lsn. Every replayed
+  /// mutation must succeed (it succeeded when first executed, in the
+  /// same order); aborts otherwise — a corrupt image must never be
+  /// silently half-recovered.
+  [[nodiscard]] fsmeta::NamespaceTree recover(const Journal& journal) const;
+
+ private:
+  std::string checkpoint_;        // serialized NamespaceTree
+  std::uint64_t checkpoint_lsn_ = 0;
+};
+
+/// A file set's full server-side state: live service + journal + disk
+/// image, with the flush/checkpoint/crash/recover lifecycle.
+class JournaledFileSet {
+ public:
+  explicit JournaledFileSet(fsmeta::CostModel cost = {});
+
+  /// Install a pre-existing namespace as both the live tree and the
+  /// initial checkpoint (the disk image a server finds when it first
+  /// acquires the file set). Only valid before any operation ran.
+  void bootstrap(const fsmeta::NamespaceTree& tree);
+
+  /// Execute an operation; successful mutations are journaled
+  /// (volatile until the next flush).
+  fsmeta::OpResult execute(const fsmeta::MetadataOp& op);
+
+  /// Write all dirty records to stable storage (the shed-side flush of
+  /// a file-set move). Returns the number of records made durable.
+  std::size_t flush();
+
+  /// Flush, then write a checkpoint and truncate the journal.
+  void checkpoint();
+
+  /// The serving node crashed: volatile journal records are lost and
+  /// the live state is invalid until recover(). Returns the lost count.
+  std::size_t crash();
+
+  /// Rebuild the live service from the stable image (checkpoint +
+  /// durable journal). Locks are volatile and do not survive.
+  void recover();
+
+  /// crash() immediately followed by recover().
+  std::size_t crash_and_recover() {
+    const std::size_t lost = crash();
+    recover();
+    return lost;
+  }
+
+  /// True between crash() and recover(): the live state is unusable.
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+
+  /// True when the stable image recovers to EXACTLY the live tree
+  /// (byte-equal serializations) — the consistency a shedding server
+  /// must establish before handing a file set away.
+  [[nodiscard]] bool image_is_consistent() const;
+
+  [[nodiscard]] fsmeta::MetadataService& service() noexcept {
+    return service_;
+  }
+  [[nodiscard]] const fsmeta::MetadataService& service() const noexcept {
+    return service_;
+  }
+  [[nodiscard]] const Journal& journal() const noexcept { return journal_; }
+  [[nodiscard]] const FileSetImage& image() const noexcept { return image_; }
+
+ private:
+  fsmeta::MetadataService service_;
+  Journal journal_;
+  FileSetImage image_;
+  bool crashed_ = false;
+};
+
+}  // namespace anufs::disk

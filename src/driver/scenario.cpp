@@ -1,0 +1,287 @@
+#include "driver/scenario.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+#include "metrics/emit.h"
+#include "policies/anu_policy.h"
+#include "policies/consistent_hash.h"
+#include "policies/prescient.h"
+#include "policies/round_robin.h"
+#include "policies/simple_random.h"
+#include "policies/weighted_hash.h"
+#include "workload/dfstrace_like.h"
+#include "workload/op_workload.h"
+#include "workload/synthetic.h"
+#include "workload/trace_io.h"
+
+namespace anufs::driver {
+
+namespace {
+
+[[noreturn]] void config_failure(std::size_t line_no, const std::string& what) {
+  std::fprintf(stderr, "anufs-scenario: line %zu: %s\n", line_no,
+               what.c_str());
+  std::abort();
+}
+
+std::vector<double> parse_speeds(const std::string& csv, std::size_t line_no) {
+  std::vector<double> speeds;
+  std::string token;
+  for (const char c : csv + ",") {
+    if (c == ',') {
+      if (token.empty()) config_failure(line_no, "empty speed entry");
+      speeds.push_back(std::stod(token));
+      token.clear();
+    } else {
+      token += c;
+    }
+  }
+  if (speeds.empty()) config_failure(line_no, "no speeds given");
+  return speeds;
+}
+
+bool parse_on_off(const std::string& v, std::size_t line_no) {
+  if (v == "on") return true;
+  if (v == "off") return false;
+  config_failure(line_no, "expected on|off, got '" + v + "'");
+}
+
+workload::Workload build_workload(const ScenarioConfig& c) {
+  if (c.workload == "synthetic") {
+    workload::SyntheticConfig wc;
+    if (c.duration > 0) wc.duration = c.duration;
+    if (c.requests > 0) wc.total_requests = c.requests;
+    if (c.file_sets > 0) wc.file_sets = c.file_sets;
+    if (c.seed > 0) wc.seed = c.seed;
+    return workload::make_synthetic(wc);
+  }
+  if (c.workload == "dfstrace") {
+    workload::DfsTraceLikeConfig wc;
+    if (c.duration > 0) wc.duration = c.duration;
+    if (c.requests > 0) wc.total_requests = c.requests;
+    if (c.file_sets > 0) wc.file_sets = c.file_sets;
+    if (c.seed > 0) wc.seed = c.seed;
+    return workload::make_dfstrace_like(wc);
+  }
+  if (c.workload == "opmix") {
+    workload::OpWorkloadConfig wc;
+    if (c.duration > 0) wc.duration = c.duration;
+    if (c.requests > 0) wc.total_ops = c.requests;
+    if (c.file_sets > 0) wc.file_sets = c.file_sets;
+    if (c.seed > 0) wc.seed = c.seed;
+    return workload::make_op_workload(wc).workload;
+  }
+  if (c.workload == "trace") {
+    return workload::load_trace(c.trace_path);
+  }
+  std::fprintf(stderr, "anufs-scenario: unknown workload '%s'\n",
+               c.workload.c_str());
+  std::abort();
+}
+
+std::unique_ptr<policy::PlacementPolicy> build_policy(
+    const ScenarioConfig& c, const workload::Workload& work) {
+  core::AnuConfig anu_config;
+  if (c.auto_threshold) anu_config.tuner.auto_threshold = true;
+  if (c.threshold >= 0) anu_config.tuner.threshold = c.threshold;
+  if (c.max_scale > 0) anu_config.tuner.max_scale = c.max_scale;
+  if (c.median_average) {
+    anu_config.tuner.average = core::AverageKind::kMedian;
+  }
+  if (c.pairwise || c.policy == "anu-pairwise") {
+    anu_config.mode = core::TunerMode::kDecentralizedPairwise;
+  }
+  if (c.policy == "anu" || c.policy == "anu-pairwise") {
+    return std::make_unique<policy::AnuPolicy>(anu_config);
+  }
+  if (c.policy == "round-robin") {
+    return std::make_unique<policy::RoundRobinPolicy>();
+  }
+  if (c.policy == "simple-random") {
+    return std::make_unique<policy::SimpleRandomPolicy>(
+        c.seed > 0 ? c.seed : 1);
+  }
+  std::map<ServerId, double> caps;
+  for (std::uint32_t i = 0; i < c.cluster.server_speeds.size(); ++i) {
+    caps[ServerId{i}] = c.cluster.server_speeds[i];
+  }
+  for (const MembershipEvent& e : c.events) {
+    if (e.kind == MembershipEvent::Kind::kAdd) {
+      caps[ServerId{e.server}] = e.speed;
+    }
+  }
+  if (c.policy == "prescient") {
+    policy::PrescientConfig pc;
+    pc.speeds = caps;
+    pc.period = c.cluster.reconfig_period;
+    return std::make_unique<policy::PrescientPolicy>(pc, work);
+  }
+  if (c.policy == "weighted-hash") {
+    return std::make_unique<policy::WeightedHashPolicy>(caps);
+  }
+  if (c.policy == "consistent-hash") {
+    return std::make_unique<policy::ConsistentHashPolicy>(caps);
+  }
+  std::fprintf(stderr, "anufs-scenario: unknown policy '%s'\n",
+               c.policy.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+ScenarioConfig parse_scenario(std::istream& is) {
+  ScenarioConfig config;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (const auto hash_pos = line.find('#'); hash_pos != std::string::npos) {
+      line.resize(hash_pos);
+    }
+    std::istringstream ss(line);
+    std::string key;
+    if (!(ss >> key)) continue;
+    std::string value;
+    const auto want = [&](const char* what) -> std::string& {
+      if (!(ss >> value)) config_failure(line_no, std::string("missing ") + what);
+      return value;
+    };
+    if (key == "workload") {
+      config.workload = want("workload kind");
+      if (config.workload == "trace") {
+        config.trace_path = want("trace path");
+      }
+    } else if (key == "policy") {
+      config.policy = want("policy name");
+    } else if (key == "servers") {
+      config.cluster.server_speeds = parse_speeds(want("speeds"), line_no);
+    } else if (key == "period") {
+      config.cluster.reconfig_period = std::stod(want("seconds"));
+    } else if (key == "duration") {
+      config.duration = std::stod(want("seconds"));
+    } else if (key == "requests") {
+      config.requests = std::stoull(want("count"));
+    } else if (key == "file_sets") {
+      config.file_sets = static_cast<std::uint32_t>(
+          std::stoul(want("count")));
+    } else if (key == "seed") {
+      config.seed = std::stoull(want("seed"));
+      config.cluster.seed = config.seed;
+    } else if (key == "san") {
+      config.cluster.san.enabled = parse_on_off(want("on|off"), line_no);
+    } else if (key == "detector") {
+      config.cluster.detector.enabled =
+          parse_on_off(want("on|off"), line_no);
+    } else if (key == "report_loss") {
+      config.cluster.net.report_loss = std::stod(want("probability"));
+    } else if (key == "routing_delay") {
+      const double d = std::stod(want("seconds"));
+      config.cluster.routing.model_staleness = d > 0;
+      config.cluster.routing.distribution_delay = d;
+    } else if (key == "movement") {
+      config.cluster.movement.enabled =
+          parse_on_off(want("on|off"), line_no);
+    } else if (key == "threshold") {
+      const std::string v = want("value");
+      if (v == "auto") {
+        config.auto_threshold = true;
+      } else {
+        config.threshold = std::stod(v);
+      }
+    } else if (key == "max_scale") {
+      config.max_scale = std::stod(want("value"));
+    } else if (key == "average") {
+      const std::string v = want("mean|median");
+      if (v == "median") {
+        config.median_average = true;
+      } else if (v != "mean") {
+        config_failure(line_no, "expected mean|median");
+      }
+    } else if (key == "fail" || key == "recover") {
+      MembershipEvent e;
+      e.kind = key == "fail" ? MembershipEvent::Kind::kFail
+                             : MembershipEvent::Kind::kRecover;
+      e.time = std::stod(want("time"));
+      e.server = static_cast<std::uint32_t>(std::stoul(want("server")));
+      config.events.push_back(e);
+    } else if (key == "add") {
+      MembershipEvent e;
+      e.kind = MembershipEvent::Kind::kAdd;
+      e.time = std::stod(want("time"));
+      e.server = static_cast<std::uint32_t>(std::stoul(want("server")));
+      e.speed = std::stod(want("speed"));
+      config.events.push_back(e);
+    } else if (key == "emit") {
+      const std::string v = want("series|summary");
+      if (v == "series") {
+        config.emit_series = true;
+      } else if (v != "summary") {
+        config_failure(line_no, "expected series|summary");
+      }
+    } else {
+      config_failure(line_no, "unknown key '" + key + "'");
+    }
+  }
+  return config;
+}
+
+ScenarioConfig parse_scenario_text(const std::string& text) {
+  std::istringstream is(text);
+  return parse_scenario(is);
+}
+
+cluster::RunResult run_scenario(const ScenarioConfig& config,
+                                std::ostream& os) {
+  const workload::Workload work = build_workload(config);
+  const std::unique_ptr<policy::PlacementPolicy> pol =
+      build_policy(config, work);
+  cluster::ClusterSim sim(config.cluster, work, *pol);
+  for (const MembershipEvent& e : config.events) {
+    switch (e.kind) {
+      case MembershipEvent::Kind::kFail:
+        sim.schedule_failure(e.time, ServerId{e.server});
+        break;
+      case MembershipEvent::Kind::kRecover:
+        sim.schedule_recovery(e.time, ServerId{e.server});
+        break;
+      case MembershipEvent::Kind::kAdd:
+        sim.schedule_addition(e.time, ServerId{e.server}, e.speed);
+        break;
+    }
+  }
+  cluster::RunResult result = sim.run();
+
+  os << "# scenario: workload=" << config.workload
+     << " policy=" << pol->name() << " servers="
+     << config.cluster.server_speeds.size() << "\n";
+  if (config.emit_series) {
+    metrics::emit_bundle(os, pol->name() + " per-server mean latency (ms)",
+                         result.latency_ms);
+  }
+  os << "requests " << result.completed << "/" << result.total_requests
+     << " completed, " << result.lost << " lost\n";
+  os << "moves " << result.moves << ", forwarded " << result.forwarded
+     << "\n";
+  os << "run-mean latency " << result.mean_latency * 1e3 << " ms\n";
+  for (const std::string& label : result.latency_ms.labels()) {
+    os << "  " << label << " steady-state mean "
+       << metrics::TableEmitter::num(
+              result.latency_ms.at(label).tail_mean(1.0 / 3.0))
+       << " ms\n";
+  }
+  if (config.cluster.san.enabled) {
+    os << "san busy " << result.san_busy << " s, wasted-idle "
+       << result.san_wasted_idle << " s, end-to-end "
+       << result.san_mean_end_to_end * 1e3 << " ms\n";
+  }
+  return result;
+}
+
+}  // namespace anufs::driver

@@ -1,0 +1,77 @@
+// Scenario driver: run any experiment from a declarative text config,
+// no C++ required. This is the operator-facing surface of the
+// simulator; `tools/anufs_sim` is the CLI wrapper.
+//
+// Config format (line-oriented; '#' comments):
+//
+//   workload synthetic | dfstrace | opmix | trace <path>
+//   policy anu | prescient | round-robin | simple-random |
+//          weighted-hash | consistent-hash | anu-pairwise
+//   servers 1,3,5,7,9          # speeds; ids are 0..n-1
+//   period 120                 # reconfiguration seconds
+//   duration 10000             # overrides workload default
+//   requests 100000            # expected request count
+//   file_sets 500
+//   seed 42
+//   san on|off
+//   detector on|off
+//   routing_delay 10           # seconds; 0 = off
+//   report_loss 0.1            # per-round report loss probability
+//   movement on|off
+//   threshold 0.5|auto         # ANU tuner knobs
+//   max_scale 2.0
+//   average mean|median
+//   fail <time> <server>       # membership script
+//   recover <time> <server>
+//   add <time> <server> <speed>
+//   emit series|summary        # output form (default summary)
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_sim.h"
+
+namespace anufs::driver {
+
+struct MembershipEvent {
+  enum class Kind { kFail, kRecover, kAdd } kind = Kind::kFail;
+  double time = 0.0;
+  std::uint32_t server = 0;
+  double speed = 1.0;  // kAdd only
+};
+
+struct ScenarioConfig {
+  std::string workload = "synthetic";
+  std::string trace_path;  // workload == "trace"
+  std::string policy = "anu";
+  cluster::ClusterConfig cluster;
+  // Workload shape overrides (0 = keep the workload's default).
+  double duration = 0.0;
+  std::uint64_t requests = 0;
+  std::uint32_t file_sets = 0;
+  std::uint64_t seed = 0;
+  // ANU knobs.
+  double threshold = -1.0;   // <0 = default
+  bool auto_threshold = false;
+  double max_scale = -1.0;
+  bool median_average = false;
+  bool pairwise = false;
+  std::vector<MembershipEvent> events;
+  bool emit_series = false;
+};
+
+/// Parse a scenario; aborts with a line diagnostic on malformed input.
+[[nodiscard]] ScenarioConfig parse_scenario(std::istream& is);
+
+/// Parse from a string (tests, inline configs).
+[[nodiscard]] ScenarioConfig parse_scenario_text(const std::string& text);
+
+/// Build everything and run; prints results to `os`. Returns the run
+/// result for programmatic use.
+cluster::RunResult run_scenario(const ScenarioConfig& config,
+                                std::ostream& os);
+
+}  // namespace anufs::driver

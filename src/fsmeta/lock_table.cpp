@@ -1,0 +1,83 @@
+#include "fsmeta/lock_table.h"
+
+namespace anufs::fsmeta {
+
+OpStatus LockTable::acquire(SessionId session, InodeId inode,
+                            LockMode mode) {
+  auto it = locks_.find(inode);
+  if (it == locks_.end()) {
+    LockState state;
+    state.mode = mode;
+    state.holders.insert(session);
+    locks_.emplace(inode, std::move(state));
+    by_session_[session].insert(inode);
+    ++total_;
+    return OpStatus::kOk;
+  }
+  LockState& state = it->second;
+  if (state.holders.contains(session)) {
+    if (state.mode == mode) return OpStatus::kOk;  // idempotent re-acquire
+    if (mode == LockMode::kExclusive) {
+      // Upgrade allowed only when the session is the sole holder.
+      if (state.holders.size() != 1) return OpStatus::kLockConflict;
+      state.mode = LockMode::kExclusive;
+      return OpStatus::kOk;
+    }
+    return OpStatus::kOk;  // exclusive holder asking shared: keep exclusive
+  }
+  if (state.mode == LockMode::kShared && mode == LockMode::kShared) {
+    state.holders.insert(session);
+    by_session_[session].insert(inode);
+    ++total_;
+    return OpStatus::kOk;
+  }
+  return OpStatus::kLockConflict;
+}
+
+OpStatus LockTable::release(SessionId session, InodeId inode) {
+  const auto it = locks_.find(inode);
+  if (it == locks_.end() || !it->second.holders.contains(session)) {
+    return OpStatus::kNotLocked;
+  }
+  it->second.holders.erase(session);
+  if (it->second.holders.empty()) locks_.erase(it);
+  auto by = by_session_.find(session);
+  ANUFS_ENSURES(by != by_session_.end());
+  by->second.erase(inode);
+  if (by->second.empty()) by_session_.erase(by);
+  --total_;
+  return OpStatus::kOk;
+}
+
+std::size_t LockTable::reclaim(SessionId session) {
+  const auto by = by_session_.find(session);
+  if (by == by_session_.end()) return 0;
+  const std::set<InodeId> held = by->second;  // copy: release mutates
+  for (const InodeId inode : held) {
+    const OpStatus status = release(session, inode);
+    ANUFS_ENSURES(status == OpStatus::kOk);
+  }
+  return held.size();
+}
+
+void LockTable::check_consistency() const {
+  std::size_t counted = 0;
+  for (const auto& [inode, state] : locks_) {
+    ANUFS_ENSURES(!state.holders.empty());
+    if (state.mode == LockMode::kExclusive) {
+      ANUFS_ENSURES(state.holders.size() == 1);
+    }
+    for (const SessionId s : state.holders) {
+      const auto by = by_session_.find(s);
+      ANUFS_ENSURES(by != by_session_.end());
+      ANUFS_ENSURES(by->second.contains(inode));
+      ++counted;
+    }
+  }
+  ANUFS_ENSURES(counted == total_);
+  std::size_t reverse = 0;
+  for (const auto& [s, inodes] : by_session_) reverse += inodes.size();
+  ANUFS_ENSURES(reverse == total_);
+}
+
+}  // namespace anufs::fsmeta

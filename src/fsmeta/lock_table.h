@@ -1,0 +1,70 @@
+// Session lock table: the lock-granting function of a Storage Tank
+// metadata server. Clients open files under shared or exclusive locks;
+// a failed client's session is reclaimed, releasing everything it held
+// ("detect and recover failed clients", paper §2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "fsmeta/types.h"
+
+namespace anufs::fsmeta {
+
+class LockTable {
+ public:
+  /// Try to acquire `mode` on `inode` for `session`. Shared locks are
+  /// compatible with shared; exclusive with nothing. Re-acquiring a
+  /// lock the session already holds upgrades/no-ops where compatible.
+  [[nodiscard]] OpStatus acquire(SessionId session, InodeId inode,
+                                 LockMode mode);
+
+  /// Release `session`'s lock on `inode`.
+  [[nodiscard]] OpStatus release(SessionId session, InodeId inode);
+
+  /// Failed-client recovery: drop every lock the session holds.
+  /// Returns how many locks were reclaimed.
+  std::size_t reclaim(SessionId session);
+
+  // ---- queries ----------------------------------------------------------
+
+  [[nodiscard]] bool is_locked(InodeId inode) const {
+    return locks_.contains(inode);
+  }
+
+  [[nodiscard]] std::size_t holder_count(InodeId inode) const {
+    const auto it = locks_.find(inode);
+    return it == locks_.end() ? 0 : it->second.holders.size();
+  }
+
+  [[nodiscard]] bool holds(SessionId session, InodeId inode) const {
+    const auto it = locks_.find(inode);
+    return it != locks_.end() && it->second.holders.contains(session);
+  }
+
+  [[nodiscard]] std::size_t session_lock_count(SessionId session) const {
+    const auto it = by_session_.find(session);
+    return it == by_session_.end() ? 0 : it->second.size();
+  }
+
+  [[nodiscard]] std::size_t total_locks() const noexcept { return total_; }
+
+  /// Cross-index consistency check; aborts on violation.
+  void check_consistency() const;
+
+ private:
+  struct LockState {
+    LockMode mode = LockMode::kShared;
+    std::set<SessionId> holders;  // >1 only for kShared
+  };
+
+  std::unordered_map<InodeId, LockState> locks_;
+  std::unordered_map<SessionId, std::set<InodeId>> by_session_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace anufs::fsmeta

@@ -1,0 +1,98 @@
+#include "fsmeta/metadata_service.h"
+
+namespace anufs::fsmeta {
+
+OpResult MetadataService::execute(const MetadataOp& op) {
+  OpResult result;
+  double demand = cost_.base;
+  OpStatus status = OpStatus::kOk;
+
+  switch (op.kind) {
+    case OpKind::kLookup: {
+      const ResolveResult r = tree_.resolve(op.path);
+      demand += cost_.per_component * r.components;
+      status = r.status;
+      break;
+    }
+    case OpKind::kStat: {
+      const ResolveResult r = tree_.resolve(op.path);
+      demand += cost_.per_component * r.components;
+      status = r.status;
+      break;
+    }
+    case OpKind::kReaddir: {
+      const ResolveResult r = tree_.resolve(op.path);
+      demand += cost_.per_component * r.components;
+      status = r.status;
+      if (r.status == OpStatus::kOk) {
+        const Attributes* attrs = tree_.attributes(r.inode);
+        if (attrs == nullptr || attrs->type != FileType::kDirectory) {
+          status = OpStatus::kNotDirectory;
+        } else {
+          demand += cost_.per_dirent *
+                    static_cast<double>(tree_.entry_count(r.inode));
+        }
+      }
+      break;
+    }
+    case OpKind::kCreate:
+    case OpKind::kMkdir: {
+      const NamespaceTree::MutateResult m = tree_.create(
+          op.path, op.kind == OpKind::kMkdir ? FileType::kDirectory
+                                             : FileType::kFile);
+      demand += cost_.per_component * m.components;
+      status = m.status;
+      if (m.status == OpStatus::kOk) demand += cost_.mutation_sync;
+      break;
+    }
+    case OpKind::kSetAttr: {
+      const NamespaceTree::MutateResult m =
+          tree_.set_attr(op.path, op.size, op.mtime);
+      demand += cost_.per_component * m.components;
+      status = m.status;
+      if (m.status == OpStatus::kOk) demand += cost_.mutation_sync;
+      break;
+    }
+    case OpKind::kUnlink: {
+      const NamespaceTree::MutateResult m = tree_.remove(op.path);
+      demand += cost_.per_component * m.components;
+      status = m.status;
+      if (m.status == OpStatus::kOk) demand += cost_.mutation_sync;
+      break;
+    }
+    case OpKind::kRename: {
+      const NamespaceTree::MutateResult m = tree_.rename(op.path, op.path2);
+      demand += cost_.per_component * m.components;
+      status = m.status;
+      if (m.status == OpStatus::kOk) demand += cost_.mutation_sync;
+      break;
+    }
+    case OpKind::kOpen: {
+      const ResolveResult r = tree_.resolve(op.path);
+      demand += cost_.per_component * r.components + cost_.lock_op;
+      status = r.status;
+      if (r.status == OpStatus::kOk) {
+        status = locks_.acquire(op.session, r.inode, op.mode);
+      }
+      break;
+    }
+    case OpKind::kClose: {
+      const ResolveResult r = tree_.resolve(op.path);
+      demand += cost_.per_component * r.components + cost_.lock_op;
+      status = r.status;
+      if (r.status == OpStatus::kOk) {
+        status = locks_.release(op.session, r.inode);
+      }
+      break;
+    }
+  }
+
+  ++executed_;
+  if (status != OpStatus::kOk) ++failed_;
+  ++by_status_[static_cast<std::size_t>(status)];
+  result.status = status;
+  result.demand = demand;
+  return result;
+}
+
+}  // namespace anufs::fsmeta

@@ -1,0 +1,72 @@
+// The metadata service of ONE file set: executes typed operations
+// against the namespace + lock table and reports each operation's
+// service demand (unit-speed seconds).
+//
+// The cost model is where "file servers are loaded with the single
+// class of metadata operations — small reads and writes" becomes
+// numbers: a fixed per-op CPU cost, a per-path-component walk cost, a
+// per-entry readdir cost, a lock-table cost, and a sync cost for
+// metadata WRITES (mutations must reach the shared disk before the
+// reply). Service demands therefore emerge from the actual shape of
+// each file set's tree rather than from a sampled distribution.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "fsmeta/lock_table.h"
+#include "fsmeta/namespace_tree.h"
+#include "fsmeta/ops.h"
+
+namespace anufs::fsmeta {
+
+struct CostModel {
+  double base = 0.02;           ///< fixed CPU per operation
+  double per_component = 0.01;  ///< per path component resolved
+  double per_dirent = 0.0005;   ///< per entry listed by readdir
+  double lock_op = 0.01;        ///< lock acquire/release bookkeeping
+  double mutation_sync = 0.08;  ///< shared-disk sync for metadata writes
+};
+
+struct OpResult {
+  OpStatus status = OpStatus::kOk;
+  double demand = 0.0;  ///< unit-speed service seconds consumed
+};
+
+class MetadataService {
+ public:
+  explicit MetadataService(CostModel cost = CostModel{}) : cost_(cost) {}
+
+  /// Execute one operation. Failed operations still cost the work done
+  /// before the failure (the path walk, the lock probe).
+  OpResult execute(const MetadataOp& op);
+
+  /// Failed-client recovery: reclaim every lock of `session`.
+  std::size_t reclaim_session(SessionId session) {
+    return locks_.reclaim(session);
+  }
+
+  [[nodiscard]] NamespaceTree& tree() noexcept { return tree_; }
+  [[nodiscard]] const NamespaceTree& tree() const noexcept { return tree_; }
+  [[nodiscard]] LockTable& locks() noexcept { return locks_; }
+  [[nodiscard]] const LockTable& locks() const noexcept { return locks_; }
+  [[nodiscard]] const CostModel& cost() const noexcept { return cost_; }
+
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+  [[nodiscard]] std::uint64_t failed() const noexcept { return failed_; }
+
+  /// Per-status execution counts, indexed by OpStatus.
+  [[nodiscard]] std::uint64_t count(OpStatus s) const {
+    return by_status_[static_cast<std::size_t>(s)];
+  }
+
+ private:
+  CostModel cost_;
+  NamespaceTree tree_;
+  LockTable locks_;
+  std::uint64_t executed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::array<std::uint64_t, 8> by_status_{};
+};
+
+}  // namespace anufs::fsmeta

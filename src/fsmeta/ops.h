@@ -1,0 +1,65 @@
+// Typed metadata operations: the single class of "small reads and
+// writes" the paper's metadata servers serve.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fsmeta/types.h"
+
+namespace anufs::fsmeta {
+
+enum class OpKind : std::uint8_t {
+  kLookup,   ///< path -> inode
+  kStat,     ///< read attributes
+  kReaddir,  ///< list a directory
+  kCreate,   ///< create a file
+  kMkdir,    ///< create a directory
+  kSetAttr,  ///< metadata write (size/mtime update)
+  kUnlink,   ///< remove file / empty directory
+  kRename,   ///< move within the file set
+  kOpen,     ///< acquire a session lock on a file
+  kClose,    ///< release a session lock
+};
+
+[[nodiscard]] constexpr const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kLookup: return "lookup";
+    case OpKind::kStat: return "stat";
+    case OpKind::kReaddir: return "readdir";
+    case OpKind::kCreate: return "create";
+    case OpKind::kMkdir: return "mkdir";
+    case OpKind::kSetAttr: return "setattr";
+    case OpKind::kUnlink: return "unlink";
+    case OpKind::kRename: return "rename";
+    case OpKind::kOpen: return "open";
+    case OpKind::kClose: return "close";
+  }
+  return "?";
+}
+
+/// Whether the op writes metadata (and therefore pays the sync cost).
+[[nodiscard]] constexpr bool is_mutation(OpKind k) {
+  switch (k) {
+    case OpKind::kCreate:
+    case OpKind::kMkdir:
+    case OpKind::kSetAttr:
+    case OpKind::kUnlink:
+    case OpKind::kRename:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct MetadataOp {
+  OpKind kind = OpKind::kLookup;
+  std::string path;                   ///< primary target
+  std::string path2;                  ///< rename destination
+  SessionId session;                  ///< open/close lock owner
+  LockMode mode = LockMode::kShared;  ///< open
+  std::uint64_t size = 0;             ///< setattr payload
+  std::uint64_t mtime = 0;
+};
+
+}  // namespace anufs::fsmeta

@@ -1,0 +1,89 @@
+// Core types of the metadata substrate.
+//
+// Storage Tank's servers "store, serve, and write file system metadata,
+// grant file/data locks, and detect and recover failed clients" (paper
+// §2). This module is that substrate: a real in-memory namespace per
+// file set (the unit of placement is "a subtree of the global file
+// system namespace"), typed metadata operations with execution costs,
+// and a session lock table. The namespace state is the file set's
+// shared-disk image: it is reachable from every server, and moving a
+// file set moves serving responsibility, not the data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/ids.h"
+
+namespace anufs::fsmeta {
+
+/// Inode number, local to one file set. 0 is the file set's root.
+struct InodeId {
+  std::uint64_t value = 0;
+  friend constexpr auto operator<=>(InodeId, InodeId) = default;
+};
+
+inline constexpr InodeId kRootInode{0};
+inline constexpr InodeId kNoInode{~std::uint64_t{0}};
+
+enum class FileType : std::uint8_t { kFile, kDirectory };
+
+/// Client session issuing operations (lock ownership unit). Storage
+/// Tank detects failed clients and reclaims their locks.
+struct SessionId {
+  std::uint64_t value = 0;
+  friend constexpr auto operator<=>(SessionId, SessionId) = default;
+};
+
+enum class LockMode : std::uint8_t { kShared, kExclusive };
+
+/// Inode attributes: the "small reads and writes" the metadata workload
+/// consists of are reads and updates of this record plus directory ops.
+struct Attributes {
+  FileType type = FileType::kFile;
+  std::uint64_t size = 0;
+  std::uint64_t mtime = 0;   ///< opaque version/time counter
+  std::uint32_t nlink = 1;
+};
+
+/// Operation outcome.
+enum class OpStatus : std::uint8_t {
+  kOk,
+  kNotFound,        ///< path component missing
+  kExists,          ///< create/mkdir target already present
+  kNotDirectory,    ///< path component is a file
+  kIsDirectory,     ///< unlink on a directory / read on a directory
+  kNotEmpty,        ///< rmdir of a non-empty directory
+  kLockConflict,    ///< open blocked by an incompatible lock
+  kNotLocked,       ///< close/unlock without a matching lock
+};
+
+[[nodiscard]] constexpr const char* to_string(OpStatus s) {
+  switch (s) {
+    case OpStatus::kOk: return "ok";
+    case OpStatus::kNotFound: return "not-found";
+    case OpStatus::kExists: return "exists";
+    case OpStatus::kNotDirectory: return "not-directory";
+    case OpStatus::kIsDirectory: return "is-directory";
+    case OpStatus::kNotEmpty: return "not-empty";
+    case OpStatus::kLockConflict: return "lock-conflict";
+    case OpStatus::kNotLocked: return "not-locked";
+  }
+  return "?";
+}
+
+}  // namespace anufs::fsmeta
+
+template <>
+struct std::hash<anufs::fsmeta::InodeId> {
+  std::size_t operator()(anufs::fsmeta::InodeId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<anufs::fsmeta::SessionId> {
+  std::size_t operator()(anufs::fsmeta::SessionId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};

@@ -1,0 +1,19 @@
+#include "hash/hash_family.h"
+
+#include "common/check.h"
+
+namespace anufs::hash {
+
+std::uint32_t HashFamily::fallback_server(std::uint64_t fp,
+                                          std::uint32_t n_servers) const {
+  ANUFS_EXPECTS(n_servers > 0);
+  // A distinct perturbation from every probe round (probe rounds use odd
+  // multiples of the golden-ratio constant; the fallback uses an even
+  // one), then an unbiased multiply-shift reduction.
+  const std::uint64_t x =
+      mix64(fp ^ salt_ ^ 0x2545F4914F6CDD1DULL);
+  const __uint128_t wide = static_cast<__uint128_t>(x) * n_servers;
+  return static_cast<std::uint32_t>(wide >> 64);
+}
+
+}  // namespace anufs::hash

@@ -1,0 +1,58 @@
+// The agreed-upon family of hash functions used for placement probes.
+//
+// Round r of the probe sequence for a file set with fingerprint f is
+// H_r(f); file sets landing in unmapped space are re-hashed with the next
+// function (Section 4 of the paper). Every node evaluates the same family
+// so addressing requires no communication and no I/O.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "hash/mix64.h"
+#include "hash/unit_interval.h"
+
+namespace anufs::hash {
+
+/// Indexed family {H_0, H_1, ...} of independent-looking 64-bit hashes.
+///
+/// Construction: perturb the fingerprint with a round-dependent odd
+/// constant, then alternate two unrelated finalizers. Each H_r is a
+/// bijection of the fingerprint for fixed r, so distinct file sets never
+/// collide within a round, and rounds are pairwise uncorrelated in every
+/// statistical test we run (see tests/hash_family_test.cpp).
+class HashFamily {
+ public:
+  /// A family is parameterized by a cluster-wide salt so that two
+  /// independent clusters do not correlate. Salt 0 is the default family.
+  explicit constexpr HashFamily(std::uint64_t salt = 0) : salt_(salt) {}
+
+  /// Position of probe round `round` for fingerprint `fp`.
+  [[nodiscard]] constexpr Pos probe(std::uint64_t fp,
+                                    std::uint32_t round) const {
+    const std::uint64_t tweak =
+        (static_cast<std::uint64_t>(round) * 2 + 1) * 0x9E3779B97F4A7C15ULL;
+    const std::uint64_t x = fp ^ salt_ ^ tweak;
+    return (round & 1u) ? mix64_v2(x) : mix64(x);
+  }
+
+  /// Convenience: probe by name.
+  [[nodiscard]] constexpr Pos probe_name(std::string_view name,
+                                         std::uint32_t round) const {
+    return probe(fingerprint(name), round);
+  }
+
+  /// The direct-to-server fallback hash used after `max_rounds` failed
+  /// probes: maps the fingerprint to an index in [0, n_servers).
+  [[nodiscard]] std::uint32_t fallback_server(std::uint64_t fp,
+                                              std::uint32_t n_servers) const;
+
+  [[nodiscard]] constexpr std::uint64_t salt() const noexcept {
+    return salt_;
+  }
+
+ private:
+  std::uint64_t salt_;
+};
+
+}  // namespace anufs::hash

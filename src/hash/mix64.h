@@ -1,0 +1,42 @@
+// Stateless 64-bit mixing primitives used to build the agreed-upon hash
+// family. These are finalizers with full avalanche: flipping any input
+// bit flips each output bit with probability ~1/2, which is what the
+// unit-interval placement needs for its uniformity guarantees.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace anufs::hash {
+
+/// Stafford variant 13 of the MurmurHash3 finalizer (the SplitMix64
+/// mixer). Bijective on 64 bits.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Second, independent finalizer (Murmur3 fmix64 constants). Having two
+/// distinct mixers lets the family interleave them so successive rounds
+/// share no algebraic structure.
+[[nodiscard]] constexpr std::uint64_t mix64_v2(std::uint64_t z) {
+  z = (z ^ (z >> 33)) * 0xFF51AFD7ED558CCDULL;
+  z = (z ^ (z >> 33)) * 0xC4CEB9FE1A85EC53ULL;
+  return z ^ (z >> 33);
+}
+
+/// FNV-1a fingerprint of a unique file-set name. The fingerprint is the
+/// canonical 64-bit identity that every node hashes identically; the
+/// target system's administrator-assigned unique names map through this.
+[[nodiscard]] constexpr std::uint64_t fingerprint(std::string_view name) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001B3ULL;
+  }
+  // Finalize so short names still avalanche.
+  return mix64(h);
+}
+
+}  // namespace anufs::hash

@@ -1,0 +1,35 @@
+// Fixed-point arithmetic on the unit interval.
+//
+// ANU randomization hashes file sets to [0,1) and carves the interval
+// into server regions. We represent positions and lengths in units of
+// 2^-64 so that the half-occupancy invariant (regions sum to exactly 1/2)
+// and partition boundaries (powers of two) are EXACT — floating point
+// would accumulate drift across thousands of rescalings.
+#pragma once
+
+#include <cstdint>
+
+namespace anufs::hash {
+
+/// A point in [0, 1): the value is pos / 2^64. A raw 64-bit hash IS a
+/// uniformly distributed Pos, with no conversion step.
+using Pos = std::uint64_t;
+
+/// A length within [0, 1). The full interval (measure 1.0) is not
+/// representable; ANU never needs more than 1/2 + one partition.
+using Measure = std::uint64_t;
+
+/// Exactly one half of the unit interval: the occupancy invariant target.
+inline constexpr Measure kHalfInterval = std::uint64_t{1} << 63;
+
+/// Convert to double for reporting only — never for invariant math.
+[[nodiscard]] constexpr double to_double(Measure m) {
+  return static_cast<double>(m) * 0x1.0p-64;
+}
+
+/// Convert a fraction in [0,1) to fixed point, for configuration input.
+[[nodiscard]] constexpr Measure from_double(double f) {
+  return static_cast<Measure>(f * 0x1.0p64);
+}
+
+}  // namespace anufs::hash

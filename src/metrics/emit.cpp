@@ -1,0 +1,68 @@
+#include "metrics/emit.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace anufs::metrics {
+
+void emit_bundle(std::ostream& os, const std::string& title,
+                 const SeriesBundle& bundle, double time_scale,
+                 const std::string& time_unit, int precision) {
+  ANUFS_EXPECTS(time_scale > 0.0);
+  os << "# " << title << "\n";
+  os << "# time_" << time_unit;
+  const std::vector<std::string> labels = bundle.labels();
+  for (const std::string& label : labels) os << ' ' << label;
+  os << "\n";
+  if (labels.empty()) return;
+
+  const std::size_t rows = bundle.at(labels.front()).size();
+  for (const std::string& label : labels) {
+    ANUFS_EXPECTS(bundle.at(label).size() == rows);
+  }
+  os << std::fixed << std::setprecision(precision);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double t = bundle.at(labels.front()).points()[i].first;
+    os << t / time_scale;
+    for (const std::string& label : labels) {
+      os << ' ' << bundle.at(label).points()[i].second;
+    }
+    os << "\n";
+  }
+}
+
+TableEmitter::TableEmitter(std::ostream& os, std::vector<std::string> columns)
+    : os_(os), columns_(std::move(columns)) {
+  widths_.reserve(columns_.size());
+  for (const std::string& c : columns_) {
+    widths_.push_back(std::max<std::size_t>(c.size() + 2, 16));
+  }
+}
+
+void TableEmitter::header(const std::string& title) {
+  os_ << "# " << title << "\n";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    os_ << std::left << std::setw(static_cast<int>(widths_[i])) << columns_[i];
+  }
+  os_ << "\n";
+}
+
+void TableEmitter::row(const std::vector<std::string>& cells) {
+  ANUFS_EXPECTS(cells.size() == columns_.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    os_ << std::left << std::setw(static_cast<int>(widths_[i])) << cells[i];
+  }
+  os_ << "\n";
+}
+
+std::string TableEmitter::num(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+}  // namespace anufs::metrics

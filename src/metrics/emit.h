@@ -1,0 +1,44 @@
+// Table/series emitters for the benchmark harness. Every figure bench
+// prints a gnuplot-ready block: a '#'-prefixed header naming the columns
+// followed by whitespace-aligned rows, one block per sub-figure.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/series.h"
+
+namespace anufs::metrics {
+
+/// Print a bundle sampled at shared instants as one table:
+///   # <title>
+///   # time_<unit> <label0> <label1> ...
+///   0.0  12.3  4.5 ...
+/// Values are printed with `precision` digits after the decimal point;
+/// times are divided by `time_scale` (e.g. 60 to report minutes).
+void emit_bundle(std::ostream& os, const std::string& title,
+                 const SeriesBundle& bundle, double time_scale = 60.0,
+                 const std::string& time_unit = "min", int precision = 2);
+
+/// Simple fixed-width table for summary rows.
+class TableEmitter {
+ public:
+  TableEmitter(std::ostream& os, std::vector<std::string> columns);
+
+  /// Print the header (once).
+  void header(const std::string& title);
+
+  /// Print one row; cell count must match the column count.
+  void row(const std::vector<std::string>& cells);
+
+  /// Format helper: fixed-point double.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+
+ private:
+  std::ostream& os_;
+  std::vector<std::string> columns_;
+  std::vector<std::size_t> widths_;
+};
+
+}  // namespace anufs::metrics

@@ -1,0 +1,50 @@
+#include "metrics/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace anufs::metrics {
+
+double percentile(std::vector<double> values, double q) {
+  ANUFS_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto n = static_cast<double>(values.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return values[std::min(idx, values.size() - 1)];
+}
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  const std::size_t n = values.size();
+  s.median = (n % 2 == 1) ? values[n / 2]
+                          : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  s.mean = sum / static_cast<double>(n);
+
+  double var = 0.0;
+  for (const double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(n));
+
+  const auto rank = [&](double q) {
+    const auto r =
+        static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+    return values[std::min(r == 0 ? 0 : r - 1, n - 1)];
+  };
+  s.p95 = rank(0.95);
+  s.p99 = rank(0.99);
+  return s;
+}
+
+}  // namespace anufs::metrics

@@ -1,0 +1,43 @@
+#include "policies/anu_policy.h"
+
+namespace anufs::policy {
+
+std::map<FileSetId, ServerId> AnuPolicy::derive_assignment() const {
+  std::map<FileSetId, ServerId> next;
+  for (const workload::FileSetSpec& fs : file_sets_) {
+    next[fs.id] = system_->locate(fs.fingerprint);
+  }
+  return next;
+}
+
+void AnuPolicy::initialize(
+    const std::vector<workload::FileSetSpec>& file_sets,
+    const std::vector<ServerId>& servers) {
+  ANUFS_EXPECTS(!servers.empty());
+  file_sets_ = file_sets;
+  set_servers(servers);
+  system_ = std::make_unique<core::AnuSystem>(config_, servers_);
+  assignment_ = derive_assignment();
+}
+
+std::vector<Move> AnuPolicy::rebalance(
+    sim::SimTime now, const std::vector<core::ServerReport>& reports) {
+  (void)now;
+  const core::TuneDecision decision = system_->reconfigure(reports);
+  if (!decision.acted) return {};
+  return apply_assignment(derive_assignment());
+}
+
+std::vector<Move> AnuPolicy::on_server_failed(ServerId id) {
+  remove_server_id(id);
+  system_->fail_server(id);
+  return apply_assignment(derive_assignment());
+}
+
+std::vector<Move> AnuPolicy::on_server_added(ServerId id) {
+  add_server_id(id);
+  system_->add_server(id);
+  return apply_assignment(derive_assignment());
+}
+
+}  // namespace anufs::policy

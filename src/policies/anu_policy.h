@@ -1,0 +1,55 @@
+// ANU randomization as a placement policy: adapts core::AnuSystem to the
+// policy interface used by the cluster simulator. Ownership is never
+// stored per file set inside ANU itself — it is re-derived from the hash
+// probe sequence against the current region map, which is the paper's
+// whole point (shared state scales with servers, not file sets). The
+// policy-layer assignment table here exists only so the simulator can
+// diff configurations into Move records.
+#pragma once
+
+#include <memory>
+
+#include "core/anu_system.h"
+#include "policies/policy.h"
+
+namespace anufs::policy {
+
+class AnuPolicy final : public AssignmentPolicyBase {
+ public:
+  explicit AnuPolicy(core::AnuConfig config) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override {
+    return config_.mode == core::TunerMode::kDecentralizedPairwise
+               ? "anu-pairwise"
+               : "anu";
+  }
+
+  void initialize(const std::vector<workload::FileSetSpec>& file_sets,
+                  const std::vector<ServerId>& servers) override;
+
+  std::vector<Move> rebalance(
+      sim::SimTime now,
+      const std::vector<core::ServerReport>& reports) override;
+
+  std::vector<Move> on_server_failed(ServerId id) override;
+  std::vector<Move> on_server_added(ServerId id) override;
+
+  /// The underlying ANU system (for invariant checks and introspection).
+  [[nodiscard]] const core::AnuSystem& system() const {
+    ANUFS_EXPECTS(system_ != nullptr);
+    return *system_;
+  }
+  [[nodiscard]] core::AnuSystem& system() {
+    ANUFS_EXPECTS(system_ != nullptr);
+    return *system_;
+  }
+
+ private:
+  /// Re-derive every file set's owner from the probe sequence.
+  [[nodiscard]] std::map<FileSetId, ServerId> derive_assignment() const;
+
+  core::AnuConfig config_;
+  std::unique_ptr<core::AnuSystem> system_;
+};
+
+}  // namespace anufs::policy

@@ -1,0 +1,38 @@
+#include "policies/policy.h"
+
+#include <algorithm>
+
+namespace anufs::policy {
+
+std::vector<Move> AssignmentPolicyBase::apply_assignment(
+    const std::map<FileSetId, ServerId>& next) {
+  ANUFS_EXPECTS(next.size() == assignment_.size() || assignment_.empty());
+  std::vector<Move> moves;
+  for (const auto& [fs, to] : next) {
+    const auto it = assignment_.find(fs);
+    if (it == assignment_.end()) continue;  // initial assignment: no move
+    if (it->second != to) moves.push_back(Move{fs, it->second, to});
+  }
+  assignment_ = next;
+  return moves;
+}
+
+void AssignmentPolicyBase::set_servers(std::vector<ServerId> servers) {
+  std::sort(servers.begin(), servers.end());
+  servers_ = std::move(servers);
+}
+
+void AssignmentPolicyBase::add_server_id(ServerId id) {
+  ANUFS_EXPECTS(std::find(servers_.begin(), servers_.end(), id) ==
+                servers_.end());
+  servers_.push_back(id);
+  std::sort(servers_.begin(), servers_.end());
+}
+
+void AssignmentPolicyBase::remove_server_id(ServerId id) {
+  const auto it = std::find(servers_.begin(), servers_.end(), id);
+  ANUFS_EXPECTS(it != servers_.end());
+  servers_.erase(it);
+}
+
+}  // namespace anufs::policy

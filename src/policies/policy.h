@@ -1,0 +1,88 @@
+// Placement policy interface: how file sets map to servers and how the
+// mapping reacts to latency reports and membership changes.
+//
+// Four implementations reproduce the paper's comparison:
+//   simple randomization | round-robin | dynamic prescient | ANU
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "core/tuner.h"  // core::ServerReport is the latency report type
+#include "sim/time.h"
+#include "workload/spec.h"
+
+namespace anufs::policy {
+
+/// One file-set relocation decided by a policy.
+struct Move {
+  FileSetId file_set;
+  ServerId from;
+  ServerId to;
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Establish the initial assignment. Called once before the first
+  /// request; no movement cost applies.
+  virtual void initialize(const std::vector<workload::FileSetSpec>& file_sets,
+                          const std::vector<ServerId>& servers) = 0;
+
+  /// Current owner of a file set (request routing).
+  [[nodiscard]] virtual ServerId owner(FileSetId fs) const = 0;
+
+  /// Periodic reconfiguration with this interval's latency reports.
+  /// Returns the moves performed (the internal assignment is already
+  /// updated when this returns). Static policies return {}.
+  virtual std::vector<Move> rebalance(
+      sim::SimTime now, const std::vector<core::ServerReport>& reports) = 0;
+
+  /// Server failure/decommission: the policy must re-home the victim's
+  /// file sets. Returns those (and only those... for ANU, plus any
+  /// half-occupancy ripple) moves.
+  virtual std::vector<Move> on_server_failed(ServerId id) = 0;
+
+  /// Server recovery/commission.
+  virtual std::vector<Move> on_server_added(ServerId id) = 0;
+
+  /// Alive servers in id order.
+  [[nodiscard]] virtual std::vector<ServerId> servers() const = 0;
+};
+
+/// Shared bookkeeping: the fs -> server table plus diff-based move
+/// extraction. Concrete policies fill `assignment_`.
+class AssignmentPolicyBase : public PlacementPolicy {
+ public:
+  [[nodiscard]] ServerId owner(FileSetId fs) const final {
+    const auto it = assignment_.find(fs);
+    ANUFS_EXPECTS(it != assignment_.end());
+    return it->second;
+  }
+
+  [[nodiscard]] std::vector<ServerId> servers() const final {
+    return servers_;
+  }
+
+ protected:
+  /// Replace the assignment with `next`, returning the induced moves.
+  std::vector<Move> apply_assignment(
+      const std::map<FileSetId, ServerId>& next);
+
+  void set_servers(std::vector<ServerId> servers);
+  void add_server_id(ServerId id);
+  void remove_server_id(ServerId id);
+
+  std::map<FileSetId, ServerId> assignment_;
+  std::vector<ServerId> servers_;  // sorted
+  std::vector<workload::FileSetSpec> file_sets_;
+};
+
+}  // namespace anufs::policy

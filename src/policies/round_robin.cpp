@@ -1,0 +1,38 @@
+#include "policies/round_robin.h"
+
+namespace anufs::policy {
+
+void RoundRobinPolicy::initialize(
+    const std::vector<workload::FileSetSpec>& file_sets,
+    const std::vector<ServerId>& servers) {
+  ANUFS_EXPECTS(!servers.empty());
+  file_sets_ = file_sets;
+  set_servers(servers);
+  std::map<FileSetId, ServerId> next;
+  for (std::size_t i = 0; i < file_sets_.size(); ++i) {
+    next[file_sets_[i].id] = servers_[i % servers_.size()];
+  }
+  assignment_ = std::move(next);
+}
+
+std::vector<Move> RoundRobinPolicy::on_server_failed(ServerId id) {
+  remove_server_id(id);
+  ANUFS_EXPECTS(!servers_.empty());
+  // Deal the victim's file sets around the survivors, preserving the
+  // equal-count property as closely as possible.
+  std::vector<Move> moves;
+  for (auto& [fs, owner] : assignment_) {
+    if (owner != id) continue;
+    const ServerId to = servers_[next_rr_++ % servers_.size()];
+    moves.push_back(Move{fs, id, to});
+    owner = to;
+  }
+  return moves;
+}
+
+std::vector<Move> RoundRobinPolicy::on_server_added(ServerId id) {
+  add_server_id(id);
+  return {};  // static: existing assignment is kept
+}
+
+}  // namespace anufs::policy

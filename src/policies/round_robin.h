@@ -1,0 +1,31 @@
+// Round-robin baseline: "assigns the same number of file sets to each
+// server". Static, heterogeneity-blind.
+#pragma once
+
+#include "policies/policy.h"
+
+namespace anufs::policy {
+
+class RoundRobinPolicy final : public AssignmentPolicyBase {
+ public:
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+
+  void initialize(const std::vector<workload::FileSetSpec>& file_sets,
+                  const std::vector<ServerId>& servers) override;
+
+  std::vector<Move> rebalance(
+      sim::SimTime now,
+      const std::vector<core::ServerReport>& reports) override {
+    (void)now;
+    (void)reports;
+    return {};  // static policy
+  }
+
+  std::vector<Move> on_server_failed(ServerId id) override;
+  std::vector<Move> on_server_added(ServerId id) override;
+
+ private:
+  std::uint64_t next_rr_ = 0;  // dealing cursor for failure re-homing
+};
+
+}  // namespace anufs::policy

@@ -1,0 +1,45 @@
+#include "policies/simple_random.h"
+
+#include "sim/random.h"
+
+namespace anufs::policy {
+
+void SimpleRandomPolicy::initialize(
+    const std::vector<workload::FileSetSpec>& file_sets,
+    const std::vector<ServerId>& servers) {
+  ANUFS_EXPECTS(!servers.empty());
+  file_sets_ = file_sets;
+  set_servers(servers);
+  sim::Xoshiro256 rng = sim::make_stream(seed_, "simple-random", draws_++);
+  std::map<FileSetId, ServerId> next;
+  for (const workload::FileSetSpec& fs : file_sets_) {
+    next[fs.id] = servers_[rng.next_below(servers_.size())];
+  }
+  assignment_ = std::move(next);
+}
+
+std::vector<Move> SimpleRandomPolicy::on_server_failed(ServerId id) {
+  remove_server_id(id);
+  ANUFS_EXPECTS(!servers_.empty());
+  // Only the victim's file sets re-roll; survivors keep their sets.
+  sim::Xoshiro256 rng = sim::make_stream(seed_, "simple-random", draws_++);
+  std::vector<Move> moves;
+  for (auto& [fs, owner] : assignment_) {
+    if (owner != id) continue;
+    const ServerId to = servers_[rng.next_below(servers_.size())];
+    moves.push_back(Move{fs, id, to});
+    owner = to;
+  }
+  return moves;
+}
+
+std::vector<Move> SimpleRandomPolicy::on_server_added(ServerId id) {
+  add_server_id(id);
+  // Static randomization has no rebalancing story for additions: each
+  // existing file set stays put (moving them all would defeat the
+  // policy's zero-knowledge premise). The newcomer only receives load
+  // from future failures/initializations.
+  return {};
+}
+
+}  // namespace anufs::policy

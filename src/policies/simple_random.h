@@ -1,0 +1,37 @@
+// Simple randomization baseline: "assigns each file set to a
+// randomly-chosen server". Static — it never responds to load — which is
+// exactly why the paper shows it failing under heterogeneity.
+#pragma once
+
+#include <cstdint>
+
+#include "policies/policy.h"
+
+namespace anufs::policy {
+
+class SimpleRandomPolicy final : public AssignmentPolicyBase {
+ public:
+  explicit SimpleRandomPolicy(std::uint64_t seed = 1) : seed_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "simple-random"; }
+
+  void initialize(const std::vector<workload::FileSetSpec>& file_sets,
+                  const std::vector<ServerId>& servers) override;
+
+  std::vector<Move> rebalance(
+      sim::SimTime now,
+      const std::vector<core::ServerReport>& reports) override {
+    (void)now;
+    (void)reports;
+    return {};  // static policy
+  }
+
+  std::vector<Move> on_server_failed(ServerId id) override;
+  std::vector<Move> on_server_added(ServerId id) override;
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t draws_ = 0;  // keeps failure re-rolls deterministic
+};
+
+}  // namespace anufs::policy

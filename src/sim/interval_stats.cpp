@@ -1,0 +1,3 @@
+// interval_stats is header-only; this TU anchors the target and verifies
+// the header is self-contained.
+#include "sim/interval_stats.h"

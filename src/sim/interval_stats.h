@@ -1,0 +1,62 @@
+// Per-interval latency accumulation. Each server accumulates request
+// latencies over one reconfiguration period; at the period boundary the
+// delegate reads a snapshot and the accumulator resets. This is exactly
+// the paper's measurement protocol ("the latency of each server is
+// collected over a specified interval of time").
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace anufs::sim {
+
+/// Immutable snapshot of one interval's latency statistics.
+struct IntervalSnapshot {
+  std::uint64_t count = 0;     ///< requests completed in the interval
+  SimDuration mean = 0.0;      ///< mean latency (0 when count == 0)
+  SimDuration max = 0.0;       ///< max latency
+  SimDuration total = 0.0;     ///< summed latency
+  SimDuration busy = 0.0;      ///< busy time accumulated in the interval
+
+  [[nodiscard]] bool idle() const noexcept { return count == 0; }
+};
+
+/// Resettable accumulator feeding IntervalSnapshot.
+class IntervalAccumulator {
+ public:
+  void record(SimDuration latency) {
+    ++count_;
+    total_ += latency;
+    if (latency > max_) max_ = latency;
+  }
+
+  void record_busy(SimDuration service) { busy_ += service; }
+
+  [[nodiscard]] IntervalSnapshot snapshot() const {
+    IntervalSnapshot s;
+    s.count = count_;
+    s.total = total_;
+    s.max = max_;
+    s.busy = busy_;
+    s.mean = count_ == 0 ? 0.0 : total_ / static_cast<double>(count_);
+    return s;
+  }
+
+  /// Snapshot, then clear for the next interval.
+  IntervalSnapshot harvest() {
+    const IntervalSnapshot s = snapshot();
+    *this = IntervalAccumulator{};
+    return s;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  SimDuration total_ = 0.0;
+  SimDuration max_ = 0.0;
+  SimDuration busy_ = 0.0;
+};
+
+}  // namespace anufs::sim

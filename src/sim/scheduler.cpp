@@ -1,0 +1,63 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+namespace anufs::sim {
+
+EventId Scheduler::schedule_at(SimTime at, Handler fn) {
+  ANUFS_EXPECTS(at >= now_);
+  ANUFS_EXPECTS(fn != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  const EventId id{seq};
+  heap_.push(Entry{at, seq, id});
+  handlers_.emplace(seq, std::move(fn));
+  return id;
+}
+
+bool Scheduler::cancel(EventId id) {
+  auto it = handlers_.find(id.value);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  cancelled_.insert(id.value);
+  return true;
+}
+
+bool Scheduler::skip_cancelled() {
+  while (!heap_.empty()) {
+    auto c = cancelled_.find(heap_.top().id.value);
+    if (c == cancelled_.end()) return true;
+    cancelled_.erase(c);
+    heap_.pop();
+  }
+  return false;
+}
+
+bool Scheduler::step() {
+  if (!skip_cancelled()) return false;
+  const Entry top = heap_.top();
+  heap_.pop();
+  ANUFS_ENSURES(top.time >= now_);
+  now_ = top.time;
+  auto it = handlers_.find(top.id.value);
+  ANUFS_ENSURES(it != handlers_.end());
+  Handler fn = std::move(it->second);
+  handlers_.erase(it);
+  ++fired_;
+  fn();
+  return true;
+}
+
+void Scheduler::run() {
+  while (step()) {
+  }
+}
+
+void Scheduler::run_until(SimTime horizon) {
+  ANUFS_EXPECTS(horizon >= now_);
+  while (skip_cancelled() && heap_.top().time <= horizon) {
+    step();
+  }
+  now_ = horizon;
+}
+
+}  // namespace anufs::sim

@@ -1,0 +1,105 @@
+// Discrete-event scheduler: the core of the YACSIM-replacement engine.
+//
+// Events are callbacks ordered by (time, insertion sequence). The sequence
+// tiebreak makes runs fully deterministic: two events scheduled for the
+// same instant always fire in the order they were scheduled, regardless of
+// heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/time.h"
+
+namespace anufs::sim {
+
+/// Opaque handle for cancelling a scheduled event.
+struct EventId {
+  std::uint64_t value = 0;
+  friend constexpr bool operator==(EventId, EventId) = default;
+};
+
+/// Single-threaded event calendar.
+///
+/// Usage:
+///   Scheduler sched;
+///   sched.schedule_in(1.0, [&]{ ... });
+///   sched.run();                      // until the calendar drains
+///
+/// Handlers may schedule further events (including at the current time) and
+/// may cancel pending ones. Cancellation is lazy: the heap entry stays until
+/// it reaches the top, then is skipped.
+class Scheduler {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current simulated time. Starts at kTimeZero; advances only while
+  /// events run.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Number of events scheduled but not yet fired or cancelled.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return heap_.size() - cancelled_.size();
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return pending() == 0; }
+
+  /// Total events fired so far (useful for progress accounting and tests).
+  [[nodiscard]] std::uint64_t fired() const noexcept { return fired_; }
+
+  /// Schedule `fn` at absolute simulated time `at` (>= now()).
+  EventId schedule_at(SimTime at, Handler fn);
+
+  /// Schedule `fn` `delay` seconds from now (delay >= 0).
+  EventId schedule_in(SimDuration delay, Handler fn) {
+    ANUFS_EXPECTS(delay >= 0.0);
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event. Returns false if the event already fired or
+  /// was already cancelled.
+  bool cancel(EventId id);
+
+  /// Run events until the calendar is empty.
+  void run();
+
+  /// Run events with time <= horizon, then advance the clock to exactly
+  /// `horizon` (even if no event lies there). Events scheduled at `horizon`
+  /// itself do fire.
+  void run_until(SimTime horizon);
+
+  /// Fire exactly one event, if any. Returns false when the calendar is
+  /// empty.
+  bool step();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops cancelled entries off the heap top; returns false if drained.
+  bool skip_cancelled();
+
+  SimTime now_ = kTimeZero;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  // Handlers stored separately so Entry stays trivially copyable.
+  std::unordered_map<std::uint64_t, Handler> handlers_;
+};
+
+}  // namespace anufs::sim

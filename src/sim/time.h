@@ -1,0 +1,16 @@
+// Simulated-time representation for the discrete-event engine.
+#pragma once
+
+namespace anufs::sim {
+
+/// Simulated time in seconds. Double precision gives ~microsecond
+/// resolution over multi-hour runs, which comfortably exceeds the
+/// millisecond-scale latencies this simulator measures.
+using SimTime = double;
+
+/// Duration in simulated seconds.
+using SimDuration = double;
+
+inline constexpr SimTime kTimeZero = 0.0;
+
+}  // namespace anufs::sim

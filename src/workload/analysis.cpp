@@ -1,0 +1,124 @@
+#include "workload/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace anufs::workload {
+
+WorkloadAnalysis analyze(const Workload& workload, double epoch_seconds) {
+  ANUFS_EXPECTS(epoch_seconds > 0.0);
+  WorkloadAnalysis a;
+  a.requests = workload.request_count();
+  a.duration = workload.duration;
+  a.file_sets = static_cast<std::uint32_t>(workload.file_sets.size());
+
+  const auto epochs = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(workload.duration /
+                                            epoch_seconds)));
+  std::vector<FileSetProfile> profiles(workload.file_sets.size());
+  std::vector<std::vector<std::uint32_t>> per_epoch(
+      workload.file_sets.size(), std::vector<std::uint32_t>(epochs, 0));
+  for (std::uint32_t i = 0; i < profiles.size(); ++i) {
+    profiles[i].id = FileSetId{i};
+  }
+  for (const RequestEvent& r : workload.requests) {
+    FileSetProfile& p = profiles[r.file_set.value];
+    ++p.requests;
+    p.total_demand += r.demand;
+    const auto e = std::min(
+        epochs - 1,
+        static_cast<std::size_t>(r.time / epoch_seconds));
+    ++per_epoch[r.file_set.value][e];
+    a.total_demand += r.demand;
+  }
+
+  double min_count = 0.0;
+  double max_count = 0.0;
+  double min_demand = 0.0;
+  double max_demand = 0.0;
+  for (std::uint32_t i = 0; i < profiles.size(); ++i) {
+    FileSetProfile& p = profiles[i];
+    if (p.requests > 0) {
+      p.mean_demand = p.total_demand / static_cast<double>(p.requests);
+      p.rate = static_cast<double>(p.requests) / workload.duration;
+      double mean_epoch = 0.0;
+      std::uint32_t peak = 0;
+      for (const std::uint32_t c : per_epoch[i]) {
+        mean_epoch += c;
+        peak = std::max(peak, c);
+      }
+      mean_epoch /= static_cast<double>(epochs);
+      p.burstiness = mean_epoch > 0.0 ? peak / mean_epoch : 0.0;
+      a.max_burstiness = std::max(a.max_burstiness, p.burstiness);
+
+      const auto count = static_cast<double>(p.requests);
+      if (min_count == 0.0 || count < min_count) min_count = count;
+      max_count = std::max(max_count, count);
+      if (min_demand == 0.0 || p.total_demand < min_demand) {
+        min_demand = p.total_demand;
+      }
+      max_demand = std::max(max_demand, p.total_demand);
+    }
+  }
+  a.activity_skew = min_count > 0.0 ? max_count / min_count : 0.0;
+  a.demand_skew = min_demand > 0.0 ? max_demand / min_demand : 0.0;
+  a.mean_demand =
+      a.requests > 0 ? a.total_demand / static_cast<double>(a.requests)
+                     : 0.0;
+
+  std::sort(profiles.begin(), profiles.end(),
+            [](const FileSetProfile& x, const FileSetProfile& y) {
+              if (x.total_demand != y.total_demand) {
+                return x.total_demand > y.total_demand;
+              }
+              return x.id < y.id;
+            });
+  const std::size_t head =
+      std::max<std::size_t>(1, profiles.size() / 10);
+  double head_demand = 0.0;
+  for (std::size_t i = 0; i < head; ++i) {
+    head_demand += profiles[i].total_demand;
+  }
+  a.head_demand_share =
+      a.total_demand > 0.0 ? head_demand / a.total_demand : 0.0;
+  a.profiles = std::move(profiles);
+  return a;
+}
+
+void print_analysis(std::ostream& os, const WorkloadAnalysis& a,
+                    std::size_t top_n) {
+  os << std::fixed;
+  os << "requests        " << a.requests << "\n";
+  os << "duration        " << std::setprecision(0) << a.duration << " s\n";
+  os << "file sets       " << a.file_sets << "\n";
+  os << std::setprecision(3);
+  os << "total demand    " << a.total_demand << " unit-speed s ("
+     << std::setprecision(1)
+     << 100.0 * a.total_demand / std::max(a.duration, 1e-9)
+     << "% of one unit server)\n";
+  os << std::setprecision(1);
+  os << "mean demand     " << a.mean_demand * 1e3 << " ms/request\n";
+  os << "activity skew   " << a.activity_skew << "x (requests)\n";
+  os << "demand skew     " << a.demand_skew << "x (workload)\n";
+  os << "head 10% share  " << 100.0 * a.head_demand_share
+     << "% of demand\n";
+  os << "max burstiness  " << a.max_burstiness << "x peak/mean epoch\n";
+  os << "\ntop file sets by demand:\n";
+  os << "  rank  set      requests   rate/s   mean_ms   demand_s  burst\n";
+  for (std::size_t i = 0; i < std::min(top_n, a.profiles.size()); ++i) {
+    const FileSetProfile& p = a.profiles[i];
+    os << "  " << std::setw(4) << i + 1 << "  " << std::setw(6)
+       << p.id.value << "  " << std::setw(9) << p.requests << "  "
+       << std::setw(7) << std::setprecision(3) << p.rate << "  "
+       << std::setw(7) << std::setprecision(1) << p.mean_demand * 1e3
+       << "  " << std::setw(8) << std::setprecision(1) << p.total_demand
+       << "  " << std::setw(5) << std::setprecision(1) << p.burstiness
+       << "\n";
+  }
+}
+
+}  // namespace anufs::workload

@@ -1,0 +1,52 @@
+// Workload analysis: the statistics a storage admin (or EXPERIMENTS.md)
+// wants about a trace before feeding it to the simulator — per-set
+// activity/demand profiles, heterogeneity measures, burstiness.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "workload/spec.h"
+
+namespace anufs::workload {
+
+/// Per-file-set profile.
+struct FileSetProfile {
+  FileSetId id;
+  std::uint64_t requests = 0;
+  double total_demand = 0.0;   ///< unit-speed seconds
+  double mean_demand = 0.0;    ///< per request
+  double rate = 0.0;           ///< requests/second over the trace
+  /// Peak-to-mean ratio of per-epoch request counts (1.0 = perfectly
+  /// smooth; >2 = bursty).
+  double burstiness = 0.0;
+};
+
+/// Whole-trace analysis.
+struct WorkloadAnalysis {
+  std::uint64_t requests = 0;
+  double duration = 0.0;
+  std::uint32_t file_sets = 0;
+  double total_demand = 0.0;
+  double mean_demand = 0.0;
+  /// Busiest/quietest nonzero file set by request count.
+  double activity_skew = 0.0;
+  /// Busiest/quietest nonzero file set by total demand ("workload").
+  double demand_skew = 0.0;
+  /// Share of total demand carried by the busiest 10% of file sets.
+  double head_demand_share = 0.0;
+  /// Max over sets of per-set burstiness.
+  double max_burstiness = 0.0;
+  std::vector<FileSetProfile> profiles;  ///< sorted by total demand, desc
+};
+
+/// Analyze a workload; `epoch_seconds` sets the burstiness granularity.
+[[nodiscard]] WorkloadAnalysis analyze(const Workload& workload,
+                                       double epoch_seconds = 300.0);
+
+/// Human-readable report (the `anufs_trace` tool's output).
+void print_analysis(std::ostream& os, const WorkloadAnalysis& analysis,
+                    std::size_t top_n = 10);
+
+}  // namespace anufs::workload

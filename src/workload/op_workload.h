@@ -1,0 +1,74 @@
+// Typed metadata-operation workload generator.
+//
+// Builds a real namespace per file set (a random directory tree),
+// then generates a session-structured stream of typed operations
+// (lookup/stat/readdir/create/setattr/unlink/rename/open/close) with
+// per-set Poisson arrivals and log-uniform workload weights.
+//
+// Every operation is EXECUTED against its file set's fsmeta service at
+// generation time to compute its service demand. Because operation
+// semantics depend only on the file set's own state — never on which
+// server happens to serve it (that is the whole point of shared-disk) —
+// the precomputed demands are exact for any placement policy, and the
+// result is an ordinary workload::Workload every simulator component
+// already understands.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fsmeta/metadata_service.h"
+#include "fsmeta/ops.h"
+#include "workload/spec.h"
+
+namespace anufs::workload {
+
+struct OpWorkloadConfig {
+  std::uint32_t file_sets = 50;
+  std::uint64_t total_ops = 50'000;  ///< expected
+  double duration = 5000.0;
+  /// Initial tree shape per file set.
+  std::uint32_t initial_dirs = 12;
+  std::uint32_t initial_files = 60;
+  /// Per-set arrival weights: 10^U[lo,hi).
+  double weight_lo_exp = 0.0;
+  double weight_hi_exp = 2.0;
+  /// Operation mix (normalized internally). Defaults skew heavily
+  /// toward reads, matching metadata traces.
+  double p_lookup = 0.30;
+  double p_stat = 0.22;
+  double p_readdir = 0.10;
+  double p_open = 0.08;
+  double p_close = 0.08;
+  double p_create = 0.08;
+  double p_setattr = 0.08;
+  double p_unlink = 0.04;
+  double p_rename = 0.02;
+  /// Concurrent client sessions per file set.
+  std::uint32_t sessions_per_set = 4;
+  fsmeta::CostModel cost;
+  std::uint64_t seed = 2;
+};
+
+struct OpWorkloadResult {
+  Workload workload;                  ///< requests with executed demands
+  std::vector<fsmeta::OpKind> kinds;  ///< aligned with workload.requests
+  /// The full typed operations, aligned with workload.requests — the
+  /// input to the executing-server mode (cluster/fsmeta_backing.h).
+  std::vector<fsmeta::MetadataOp> ops;
+  /// Serialized initial namespace per file set (the pre-existing
+  /// shared-disk image the op stream starts from).
+  std::vector<std::string> initial_images;
+  std::uint64_t ok = 0;               ///< ops that succeeded
+  std::uint64_t failed = 0;           ///< benign failures (ENOENT, ...)
+  std::uint64_t lock_conflicts = 0;
+  /// The end-state services (tree + lock table per set), for inspection.
+  std::vector<std::unique_ptr<fsmeta::MetadataService>> services;
+};
+
+[[nodiscard]] OpWorkloadResult make_op_workload(
+    const OpWorkloadConfig& config);
+
+}  // namespace anufs::workload

@@ -1,0 +1,110 @@
+// Tests for workload analysis.
+#include "workload/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/dfstrace_like.h"
+#include "workload/synthetic.h"
+
+namespace anufs::workload {
+namespace {
+
+Workload tiny() {
+  Workload w;
+  w.name = "tiny";
+  w.duration = 100.0;
+  w.file_sets.push_back(FileSetSpec::make(0, "a", 1.0));
+  w.file_sets.push_back(FileSetSpec::make(1, "b", 1.0));
+  w.file_sets.push_back(FileSetSpec::make(2, "c", 1.0));  // never used
+  // Set 0: 4 requests of 0.1; set 1: 2 requests of 0.4.
+  w.requests = {
+      {10.0, FileSetId{0}, 0.1}, {20.0, FileSetId{1}, 0.4},
+      {30.0, FileSetId{0}, 0.1}, {40.0, FileSetId{0}, 0.1},
+      {80.0, FileSetId{1}, 0.4}, {90.0, FileSetId{0}, 0.1},
+  };
+  return w;
+}
+
+TEST(Analysis, TotalsAndMeans) {
+  const WorkloadAnalysis a = analyze(tiny(), 50.0);
+  EXPECT_EQ(a.requests, 6u);
+  EXPECT_EQ(a.file_sets, 3u);
+  EXPECT_NEAR(a.total_demand, 1.2, 1e-12);
+  EXPECT_NEAR(a.mean_demand, 0.2, 1e-12);
+}
+
+TEST(Analysis, SkewsComputedOverNonzeroSets) {
+  const WorkloadAnalysis a = analyze(tiny(), 50.0);
+  EXPECT_DOUBLE_EQ(a.activity_skew, 2.0);  // 4 vs 2 requests
+  EXPECT_DOUBLE_EQ(a.demand_skew, 2.0);    // 0.8 vs 0.4 demand
+}
+
+TEST(Analysis, ProfilesSortedByDemand) {
+  const WorkloadAnalysis a = analyze(tiny(), 50.0);
+  ASSERT_EQ(a.profiles.size(), 3u);
+  EXPECT_EQ(a.profiles[0].id, FileSetId{1});  // 0.8 demand
+  EXPECT_EQ(a.profiles[1].id, FileSetId{0});  // 0.4
+  EXPECT_EQ(a.profiles[2].requests, 0u);      // unused set last
+}
+
+TEST(Analysis, PerProfileFields) {
+  const WorkloadAnalysis a = analyze(tiny(), 50.0);
+  const FileSetProfile& p = a.profiles[0];  // set 1
+  EXPECT_EQ(p.requests, 2u);
+  EXPECT_NEAR(p.mean_demand, 0.4, 1e-12);
+  EXPECT_NEAR(p.rate, 0.02, 1e-12);
+  // One request in each 50 s epoch: perfectly smooth.
+  EXPECT_DOUBLE_EQ(p.burstiness, 1.0);
+}
+
+TEST(Analysis, BurstinessDetectsConcentration) {
+  Workload w;
+  w.duration = 100.0;
+  w.file_sets.push_back(FileSetSpec::make(0, "a", 1.0));
+  // 9 requests in the first 10 s, 1 in the rest.
+  for (int i = 0; i < 9; ++i) {
+    w.requests.push_back({static_cast<double>(i), FileSetId{0}, 0.1});
+  }
+  w.requests.push_back({90.0, FileSetId{0}, 0.1});
+  const WorkloadAnalysis a = analyze(w, 10.0);
+  // 10 epochs, mean 1/epoch, peak 9.
+  EXPECT_DOUBLE_EQ(a.max_burstiness, 9.0);
+}
+
+TEST(Analysis, HeadShareOfSkewedWorkload) {
+  const Workload w = make_synthetic(SyntheticConfig{});
+  const WorkloadAnalysis a = analyze(w);
+  // Log-uniform weights over 2 decades: the top 10% of 500 sets carry
+  // a large share of demand.
+  EXPECT_GT(a.head_demand_share, 0.25);
+  EXPECT_LT(a.head_demand_share, 0.95);
+}
+
+TEST(Analysis, DfstraceShapeMatchesGeneratorIntent) {
+  const Workload w = make_dfstrace_like(DfsTraceLikeConfig{});
+  const WorkloadAnalysis a = analyze(w);
+  EXPECT_GT(a.activity_skew, 80.0);
+  EXPECT_GT(a.max_burstiness, 1.4);  // bursty epochs exist
+}
+
+TEST(Analysis, PrintProducesReport) {
+  std::ostringstream os;
+  print_analysis(os, analyze(tiny(), 50.0));
+  EXPECT_NE(os.str().find("activity skew"), std::string::npos);
+  EXPECT_NE(os.str().find("top file sets"), std::string::npos);
+}
+
+TEST(Analysis, EmptyWorkloadSafe) {
+  Workload w;
+  w.duration = 10.0;
+  w.file_sets.push_back(FileSetSpec::make(0, "a", 1.0));
+  const WorkloadAnalysis a = analyze(w);
+  EXPECT_EQ(a.requests, 0u);
+  EXPECT_DOUBLE_EQ(a.activity_skew, 0.0);
+  EXPECT_DOUBLE_EQ(a.mean_demand, 0.0);
+}
+
+}  // namespace
+}  // namespace anufs::workload

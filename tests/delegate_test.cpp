@@ -1,0 +1,86 @@
+// Tests for delegate election and failover semantics.
+#include "core/delegate.h"
+
+#include <gtest/gtest.h>
+
+#include "hash/unit_interval.h"
+
+namespace anufs::core {
+namespace {
+
+using hash::kHalfInterval;
+
+RegionMap two_server_map() {
+  RegionMap map = RegionMap::for_servers(2);
+  map.add_server(ServerId{3});
+  map.add_server(ServerId{7});
+  map.rebalance_to({{ServerId{3}, kHalfInterval / 2},
+                    {ServerId{7}, kHalfInterval - kHalfInterval / 2}});
+  return map;
+}
+
+TEST(Delegate, ElectsLowestId) {
+  EXPECT_EQ(Delegate::elect({ServerId{5}, ServerId{2}, ServerId{9}}),
+            ServerId{2});
+}
+
+TEST(Delegate, ElectEmptyIsNull) {
+  EXPECT_EQ(Delegate::elect({}), std::nullopt);
+}
+
+TEST(Delegate, TracksCurrentDelegate) {
+  Delegate delegate{TunerConfig{}};
+  const RegionMap map = two_server_map();
+  EXPECT_EQ(delegate.current(), std::nullopt);
+  (void)delegate.run_round({{ServerId{3}, 0.01, 10}, {ServerId{7}, 0.01, 10}},
+                           map);
+  EXPECT_EQ(delegate.current(), ServerId{3});
+  EXPECT_EQ(delegate.rounds(), 1u);
+  EXPECT_EQ(delegate.failovers(), 0u);
+}
+
+TEST(Delegate, FailoverCountsAndResetsHistory) {
+  Delegate delegate{TunerConfig{}};
+  const RegionMap map = two_server_map();
+  (void)delegate.run_round({{ServerId{3}, 0.05, 10}, {ServerId{7}, 0.01, 10}},
+                           map);
+  // Server 3 (the delegate) dies; only 7 reports now.
+  RegionMap solo = RegionMap::for_servers(1);
+  solo.add_server(ServerId{7});
+  solo.rebalance_to({{ServerId{7}, kHalfInterval}});
+  (void)delegate.run_round({{ServerId{7}, 0.01, 10}}, solo);
+  EXPECT_EQ(delegate.current(), ServerId{7});
+  EXPECT_EQ(delegate.failovers(), 1u);
+}
+
+TEST(Delegate, StableDelegateNoFailover) {
+  Delegate delegate{TunerConfig{}};
+  const RegionMap map = two_server_map();
+  for (int i = 0; i < 5; ++i) {
+    (void)delegate.run_round(
+        {{ServerId{3}, 0.01, 10}, {ServerId{7}, 0.02, 10}}, map);
+  }
+  EXPECT_EQ(delegate.rounds(), 5u);
+  EXPECT_EQ(delegate.failovers(), 0u);
+}
+
+TEST(Delegate, DecisionMatchesTunerProtocol) {
+  // The delegate's output is the stateless tuner applied to the current
+  // reports — a fresh delegate given identical inputs must produce the
+  // identical decision (statelessness, modulo divergent history).
+  const RegionMap map = two_server_map();
+  const std::vector<ServerReport> reports{{ServerId{3}, 0.08, 100},
+                                          {ServerId{7}, 0.01, 100}};
+  Delegate a{TunerConfig{}};
+  Delegate b{TunerConfig{}};
+  const TuneDecision da = a.run_round(reports, map);
+  const TuneDecision db = b.run_round(reports, map);
+  ASSERT_EQ(da.targets.size(), db.targets.size());
+  for (std::size_t i = 0; i < da.targets.size(); ++i) {
+    EXPECT_EQ(da.targets[i], db.targets[i]);
+  }
+  EXPECT_EQ(da.system_average, db.system_average);
+}
+
+}  // namespace
+}  // namespace anufs::core

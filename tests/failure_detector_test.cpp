@@ -1,0 +1,122 @@
+// Tests for the heartbeat failure detector: silent crashes, detection
+// windows, request loss, and self-organizing recovery.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_sim.h"
+#include "policies/anu_policy.h"
+#include "workload/synthetic.h"
+
+namespace anufs::cluster {
+namespace {
+
+workload::Workload steady_workload() {
+  workload::SyntheticConfig config;
+  config.file_sets = 50;
+  config.total_requests = 10000;
+  config.duration = 1200.0;
+  config.seed = 8;
+  return workload::make_synthetic(config);
+}
+
+ClusterConfig detected_cluster(double timeout = 15.0,
+                               double sweep = 5.0) {
+  ClusterConfig cc;
+  cc.server_speeds = {1, 3, 5, 7, 9};
+  cc.detector.enabled = true;
+  cc.detector.timeout = timeout;
+  cc.detector.sweep_interval = sweep;
+  return cc;
+}
+
+TEST(FailureDetector, SilentCrashEventuallyDeclared) {
+  const workload::Workload work = steady_workload();
+  policy::AnuPolicy policy{core::AnuConfig{}};
+  ClusterSim sim(detected_cluster(), work, policy);
+  sim.schedule_failure(300.0, ServerId{4});
+  // Probe membership shortly after the detector must have fired.
+  bool declared_at_probe = false;
+  sim.scheduler().schedule_at(330.0, [&] {
+    declared_at_probe = policy.servers().size() == 4;
+  });
+  (void)sim.run();
+  EXPECT_TRUE(declared_at_probe);
+  EXPECT_EQ(policy.servers().size(), 4u);
+}
+
+TEST(FailureDetector, NotDeclaredBeforeTimeout) {
+  const workload::Workload work = steady_workload();
+  policy::AnuPolicy policy{core::AnuConfig{}};
+  // Long timeout and sweep so nothing can fire early.
+  ClusterSim sim(detected_cluster(/*timeout=*/60.0, /*sweep=*/7.0), work,
+                 policy);
+  sim.schedule_failure(300.0, ServerId{4});
+  bool still_member = false;
+  sim.scheduler().schedule_at(330.0, [&] {
+    still_member = policy.servers().size() == 5;
+  });
+  (void)sim.run();
+  EXPECT_TRUE(still_member);
+  EXPECT_EQ(policy.servers().size(), 4u);  // declared by the end
+}
+
+TEST(FailureDetector, RequestsLostDuringDetectionWindow) {
+  const workload::Workload work = steady_workload();
+  // Compare: instant declaration vs detection window.
+  policy::AnuPolicy instant_policy{core::AnuConfig{}};
+  ClusterConfig instant_cc;
+  instant_cc.server_speeds = {1, 3, 5, 7, 9};
+  ClusterSim instant(instant_cc, work, instant_policy);
+  instant.schedule_failure(300.0, ServerId{4});
+  const RunResult instant_result = instant.run();
+
+  policy::AnuPolicy detected_policy{core::AnuConfig{}};
+  ClusterSim detected(detected_cluster(/*timeout=*/60.0), work,
+                      detected_policy);
+  detected.schedule_failure(300.0, ServerId{4});
+  const RunResult detected_result = detected.run();
+
+  // The detection window loses the dead server's incoming requests on
+  // top of its queue contents.
+  EXPECT_GT(detected_result.lost, instant_result.lost);
+  EXPECT_GT(detected_result.completed, work.request_count() / 2);
+}
+
+TEST(FailureDetector, ReconfigurationDeclaresMissingReporter) {
+  // Even with a huge detector timeout, the delegate notices the missing
+  // report at the next 2-minute collection round.
+  const workload::Workload work = steady_workload();
+  policy::AnuPolicy policy{core::AnuConfig{}};
+  ClusterSim sim(detected_cluster(/*timeout=*/1e9, /*sweep=*/50.0), work,
+                 policy);
+  sim.schedule_failure(130.0, ServerId{2});
+  bool declared_after_round = false;
+  sim.scheduler().schedule_at(241.0, [&] {
+    declared_after_round = policy.servers().size() == 4;
+  });
+  (void)sim.run();
+  EXPECT_TRUE(declared_after_round);
+}
+
+TEST(FailureDetector, ServiceRecoversAfterDeclaration) {
+  const workload::Workload work = steady_workload();
+  policy::AnuPolicy policy{core::AnuConfig{}};
+  ClusterSim sim(detected_cluster(), work, policy);
+  sim.schedule_failure(300.0, ServerId{3});
+  sim.schedule_recovery(700.0, ServerId{3});
+  const RunResult r = sim.run();
+  EXPECT_EQ(policy.servers().size(), 5u);
+  policy.system().check_invariants();
+  EXPECT_GT(r.completed + r.lost, work.request_count() * 9 / 10);
+}
+
+TEST(FailureDetector, NoFalsePositives) {
+  const workload::Workload work = steady_workload();
+  policy::AnuPolicy policy{core::AnuConfig{}};
+  ClusterSim sim(detected_cluster(), work, policy);
+  const RunResult r = sim.run();
+  EXPECT_EQ(policy.servers().size(), 5u);  // nobody wrongly expelled
+  EXPECT_EQ(r.lost, 0u);
+}
+
+}  // namespace
+}  // namespace anufs::cluster

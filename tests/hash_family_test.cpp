@@ -1,0 +1,169 @@
+// Tests for the hash substrate: mixers, fingerprints, probe family,
+// fallback reduction.
+#include "hash/hash_family.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+#include <vector>
+
+#include "hash/mix64.h"
+#include "hash/unit_interval.h"
+#include "sim/random.h"
+
+namespace anufs::hash {
+namespace {
+
+TEST(Mix64, Deterministic) {
+  EXPECT_EQ(mix64(12345), mix64(12345));
+  EXPECT_EQ(mix64_v2(12345), mix64_v2(12345));
+}
+
+TEST(Mix64, MixersDiffer) {
+  // Both finalizers fix 0 (xor-multiply chains preserve it); the probe
+  // family never feeds them 0 because the round tweak is nonzero. For
+  // every other input they must disagree.
+  EXPECT_EQ(mix64(0), 0u);
+  EXPECT_EQ(mix64_v2(0), 0u);
+  int same = 0;
+  for (std::uint64_t x = 1; x < 1000; ++x) {
+    if (mix64(x) == mix64_v2(x)) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Mix64, AvalancheOnSingleBitFlip) {
+  // Flipping one input bit should flip ~32 of 64 output bits.
+  double total_flips = 0.0;
+  int trials = 0;
+  for (std::uint64_t x = 1; x < 200; ++x) {
+    for (int bit = 0; bit < 64; bit += 7) {
+      const std::uint64_t flipped = x ^ (std::uint64_t{1} << bit);
+      total_flips += std::popcount(mix64(x) ^ mix64(flipped));
+      ++trials;
+    }
+  }
+  const double mean_flips = total_flips / trials;
+  EXPECT_GT(mean_flips, 28.0);
+  EXPECT_LT(mean_flips, 36.0);
+}
+
+TEST(Fingerprint, DistinctNamesDistinctPrints) {
+  std::set<std::uint64_t> prints;
+  for (int i = 0; i < 10000; ++i) {
+    prints.insert(fingerprint("fileset/" + std::to_string(i)));
+  }
+  EXPECT_EQ(prints.size(), 10000u);
+}
+
+TEST(Fingerprint, DeterministicAndConstexpr) {
+  constexpr std::uint64_t fp = fingerprint("projects/home");
+  EXPECT_EQ(fp, fingerprint("projects/home"));
+  EXPECT_NE(fp, fingerprint("projects/home2"));
+}
+
+TEST(Fingerprint, EmptyNameStillHashes) {
+  EXPECT_NE(fingerprint(""), 0u);
+}
+
+TEST(HashFamily, ProbeDeterministic) {
+  const HashFamily family;
+  EXPECT_EQ(family.probe(42, 3), family.probe(42, 3));
+}
+
+TEST(HashFamily, RoundsDiffer) {
+  const HashFamily family;
+  const std::uint64_t fp = fingerprint("fs");
+  std::set<Pos> probes;
+  for (std::uint32_t r = 0; r < 32; ++r) probes.insert(family.probe(fp, r));
+  EXPECT_EQ(probes.size(), 32u);
+}
+
+TEST(HashFamily, SaltsDiffer) {
+  const HashFamily a{1};
+  const HashFamily b{2};
+  int same = 0;
+  for (std::uint64_t fp = 0; fp < 1000; ++fp) {
+    if (a.probe(fp, 0) == b.probe(fp, 0)) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(HashFamily, ProbesUniformAcrossInterval) {
+  // Bucket the probe positions of many fingerprints into 16 bins; each
+  // bin should get ~1/16. Chi-square 15 dof, 99.9th pct ~ 37.7.
+  const HashFamily family;
+  sim::Xoshiro256 rng{13};
+  const int n = 160000;
+  std::vector<int> bins(16, 0);
+  for (int i = 0; i < n; ++i) {
+    ++bins[family.probe(rng(), 0) >> 60];
+  }
+  double chi2 = 0.0;
+  const double expected = n / 16.0;
+  for (const int c : bins) chi2 += (c - expected) * (c - expected) / expected;
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(HashFamily, SuccessiveRoundsUncorrelated) {
+  // P(round 1 lands in the lower half | round 0 landed in lower half)
+  // should be ~1/2.
+  const HashFamily family;
+  sim::Xoshiro256 rng{14};
+  int both = 0;
+  int first = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t fp = rng();
+    const bool lo0 = family.probe(fp, 0) < kHalfInterval;
+    const bool lo1 = family.probe(fp, 1) < kHalfInterval;
+    if (lo0) {
+      ++first;
+      if (lo1) ++both;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(both) / first, 0.5, 0.02);
+}
+
+TEST(HashFamily, FallbackWithinBounds) {
+  const HashFamily family;
+  sim::Xoshiro256 rng{15};
+  for (const std::uint32_t n : {1u, 2u, 5u, 64u}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(family.fallback_server(rng(), n), n);
+    }
+  }
+}
+
+TEST(HashFamily, FallbackRoughlyUniform) {
+  const HashFamily family;
+  sim::Xoshiro256 rng{16};
+  const std::uint32_t n = 5;
+  std::vector<int> counts(n, 0);
+  const int total = 100000;
+  for (int i = 0; i < total; ++i) {
+    ++counts[family.fallback_server(rng(), n)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / total, 0.2, 0.01);
+  }
+}
+
+TEST(HashFamily, FallbackDeterministic) {
+  const HashFamily family;
+  EXPECT_EQ(family.fallback_server(987, 7), family.fallback_server(987, 7));
+}
+
+TEST(UnitInterval, HalfIntervalIsExactlyHalf) {
+  EXPECT_DOUBLE_EQ(to_double(kHalfInterval), 0.5);
+}
+
+TEST(UnitInterval, FromDoubleRoundTrips) {
+  for (const double f : {0.0, 0.25, 0.5, 0.75}) {
+    EXPECT_NEAR(to_double(from_double(f)), f, 1e-15);
+  }
+}
+
+}  // namespace
+}  // namespace anufs::hash

@@ -1,0 +1,66 @@
+// Tests for per-interval latency accumulation.
+#include "sim/interval_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace anufs::sim {
+namespace {
+
+TEST(IntervalAccumulator, EmptySnapshotIsIdle) {
+  IntervalAccumulator acc;
+  const IntervalSnapshot s = acc.snapshot();
+  EXPECT_TRUE(s.idle());
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(IntervalAccumulator, MeanAndMax) {
+  IntervalAccumulator acc;
+  acc.record(0.010);
+  acc.record(0.020);
+  acc.record(0.030);
+  const IntervalSnapshot s = acc.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.020);
+  EXPECT_DOUBLE_EQ(s.max, 0.030);
+  EXPECT_DOUBLE_EQ(s.total, 0.060);
+  EXPECT_FALSE(s.idle());
+}
+
+TEST(IntervalAccumulator, BusyTracked) {
+  IntervalAccumulator acc;
+  acc.record_busy(1.5);
+  acc.record_busy(0.5);
+  EXPECT_DOUBLE_EQ(acc.snapshot().busy, 2.0);
+}
+
+TEST(IntervalAccumulator, HarvestResets) {
+  IntervalAccumulator acc;
+  acc.record(0.5);
+  const IntervalSnapshot first = acc.harvest();
+  EXPECT_EQ(first.count, 1u);
+  const IntervalSnapshot second = acc.snapshot();
+  EXPECT_TRUE(second.idle());
+  EXPECT_DOUBLE_EQ(second.total, 0.0);
+}
+
+TEST(IntervalAccumulator, SnapshotDoesNotReset) {
+  IntervalAccumulator acc;
+  acc.record(0.5);
+  (void)acc.snapshot();
+  EXPECT_EQ(acc.count(), 1u);
+}
+
+TEST(IntervalAccumulator, AccumulatesAcrossHarvests) {
+  IntervalAccumulator acc;
+  acc.record(1.0);
+  (void)acc.harvest();
+  acc.record(3.0);
+  const IntervalSnapshot s = acc.harvest();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+}  // namespace
+}  // namespace anufs::sim

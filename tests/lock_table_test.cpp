@@ -1,0 +1,120 @@
+// Tests for the session lock table (Storage Tank lock-granting +
+// failed-client recovery).
+#include "fsmeta/lock_table.h"
+
+#include <gtest/gtest.h>
+
+namespace anufs::fsmeta {
+namespace {
+
+constexpr SessionId kS1{1};
+constexpr SessionId kS2{2};
+constexpr InodeId kF1{10};
+constexpr InodeId kF2{11};
+
+TEST(LockTable, SharedLocksCoexist) {
+  LockTable locks;
+  EXPECT_EQ(locks.acquire(kS1, kF1, LockMode::kShared), OpStatus::kOk);
+  EXPECT_EQ(locks.acquire(kS2, kF1, LockMode::kShared), OpStatus::kOk);
+  EXPECT_EQ(locks.holder_count(kF1), 2u);
+  locks.check_consistency();
+}
+
+TEST(LockTable, ExclusiveExcludesAll) {
+  LockTable locks;
+  EXPECT_EQ(locks.acquire(kS1, kF1, LockMode::kExclusive), OpStatus::kOk);
+  EXPECT_EQ(locks.acquire(kS2, kF1, LockMode::kShared),
+            OpStatus::kLockConflict);
+  EXPECT_EQ(locks.acquire(kS2, kF1, LockMode::kExclusive),
+            OpStatus::kLockConflict);
+}
+
+TEST(LockTable, SharedBlocksExclusive) {
+  LockTable locks;
+  EXPECT_EQ(locks.acquire(kS1, kF1, LockMode::kShared), OpStatus::kOk);
+  EXPECT_EQ(locks.acquire(kS2, kF1, LockMode::kExclusive),
+            OpStatus::kLockConflict);
+}
+
+TEST(LockTable, ReacquireIsIdempotent) {
+  LockTable locks;
+  EXPECT_EQ(locks.acquire(kS1, kF1, LockMode::kShared), OpStatus::kOk);
+  EXPECT_EQ(locks.acquire(kS1, kF1, LockMode::kShared), OpStatus::kOk);
+  EXPECT_EQ(locks.total_locks(), 1u);
+}
+
+TEST(LockTable, SoleHolderUpgrades) {
+  LockTable locks;
+  EXPECT_EQ(locks.acquire(kS1, kF1, LockMode::kShared), OpStatus::kOk);
+  EXPECT_EQ(locks.acquire(kS1, kF1, LockMode::kExclusive), OpStatus::kOk);
+  // Now exclusive: another shared must conflict.
+  EXPECT_EQ(locks.acquire(kS2, kF1, LockMode::kShared),
+            OpStatus::kLockConflict);
+}
+
+TEST(LockTable, UpgradeBlockedByCoHolder) {
+  LockTable locks;
+  EXPECT_EQ(locks.acquire(kS1, kF1, LockMode::kShared), OpStatus::kOk);
+  EXPECT_EQ(locks.acquire(kS2, kF1, LockMode::kShared), OpStatus::kOk);
+  EXPECT_EQ(locks.acquire(kS1, kF1, LockMode::kExclusive),
+            OpStatus::kLockConflict);
+}
+
+TEST(LockTable, ReleaseFreesLock) {
+  LockTable locks;
+  (void)locks.acquire(kS1, kF1, LockMode::kExclusive);
+  EXPECT_EQ(locks.release(kS1, kF1), OpStatus::kOk);
+  EXPECT_FALSE(locks.is_locked(kF1));
+  EXPECT_EQ(locks.acquire(kS2, kF1, LockMode::kExclusive), OpStatus::kOk);
+  locks.check_consistency();
+}
+
+TEST(LockTable, ReleaseWithoutHoldingFails) {
+  LockTable locks;
+  EXPECT_EQ(locks.release(kS1, kF1), OpStatus::kNotLocked);
+  (void)locks.acquire(kS1, kF1, LockMode::kShared);
+  EXPECT_EQ(locks.release(kS2, kF1), OpStatus::kNotLocked);
+}
+
+TEST(LockTable, SharedReleaseKeepsOtherHolder) {
+  LockTable locks;
+  (void)locks.acquire(kS1, kF1, LockMode::kShared);
+  (void)locks.acquire(kS2, kF1, LockMode::kShared);
+  EXPECT_EQ(locks.release(kS1, kF1), OpStatus::kOk);
+  EXPECT_TRUE(locks.holds(kS2, kF1));
+  EXPECT_EQ(locks.holder_count(kF1), 1u);
+}
+
+TEST(LockTable, ReclaimReleasesEverything) {
+  LockTable locks;
+  (void)locks.acquire(kS1, kF1, LockMode::kShared);
+  (void)locks.acquire(kS1, kF2, LockMode::kExclusive);
+  (void)locks.acquire(kS2, kF1, LockMode::kShared);
+  EXPECT_EQ(locks.reclaim(kS1), 2u);  // failed-client recovery
+  EXPECT_FALSE(locks.is_locked(kF2));
+  EXPECT_TRUE(locks.holds(kS2, kF1));  // the survivor keeps its lock
+  EXPECT_EQ(locks.session_lock_count(kS1), 0u);
+  locks.check_consistency();
+}
+
+TEST(LockTable, ReclaimUnknownSessionIsZero) {
+  LockTable locks;
+  EXPECT_EQ(locks.reclaim(SessionId{999}), 0u);
+}
+
+TEST(LockTable, TotalsTrackAcquireRelease) {
+  LockTable locks;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(locks.acquire(SessionId{i % 5}, InodeId{i},
+                            LockMode::kShared),
+              OpStatus::kOk);
+  }
+  EXPECT_EQ(locks.total_locks(), 50u);
+  EXPECT_EQ(locks.session_lock_count(SessionId{0}), 10u);
+  EXPECT_EQ(locks.reclaim(SessionId{0}), 10u);
+  EXPECT_EQ(locks.total_locks(), 40u);
+  locks.check_consistency();
+}
+
+}  // namespace
+}  // namespace anufs::fsmeta

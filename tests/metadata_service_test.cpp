@@ -1,0 +1,149 @@
+// Tests for the metadata service: typed op execution and the cost model.
+#include "fsmeta/metadata_service.h"
+
+#include <gtest/gtest.h>
+
+namespace anufs::fsmeta {
+namespace {
+
+MetadataOp make(OpKind kind, std::string path, std::string path2 = "") {
+  MetadataOp op;
+  op.kind = kind;
+  op.path = std::move(path);
+  op.path2 = std::move(path2);
+  return op;
+}
+
+TEST(MetadataService, LookupCostsScaleWithDepth) {
+  MetadataService svc;
+  (void)svc.execute(make(OpKind::kMkdir, "a"));
+  (void)svc.execute(make(OpKind::kMkdir, "a/b"));
+  (void)svc.execute(make(OpKind::kCreate, "a/b/f"));
+  const OpResult shallow = svc.execute(make(OpKind::kLookup, "a"));
+  const OpResult deep = svc.execute(make(OpKind::kLookup, "a/b/f"));
+  EXPECT_EQ(shallow.status, OpStatus::kOk);
+  EXPECT_EQ(deep.status, OpStatus::kOk);
+  EXPECT_DOUBLE_EQ(deep.demand - shallow.demand,
+                   2 * svc.cost().per_component);
+}
+
+TEST(MetadataService, MutationsPaySyncCost) {
+  MetadataService svc;
+  const OpResult create = svc.execute(make(OpKind::kCreate, "f"));
+  const OpResult lookup = svc.execute(make(OpKind::kLookup, "f"));
+  EXPECT_EQ(create.status, OpStatus::kOk);
+  // Same path length; the difference is exactly the sync cost.
+  EXPECT_DOUBLE_EQ(create.demand - lookup.demand,
+                   svc.cost().mutation_sync);
+}
+
+TEST(MetadataService, FailedMutationSkipsSyncButPaysWalk) {
+  MetadataService svc;
+  (void)svc.execute(make(OpKind::kCreate, "f"));
+  const OpResult dup = svc.execute(make(OpKind::kCreate, "f"));
+  EXPECT_EQ(dup.status, OpStatus::kExists);
+  EXPECT_LT(dup.demand, svc.cost().base + svc.cost().mutation_sync);
+  EXPECT_GE(dup.demand, svc.cost().base);
+}
+
+TEST(MetadataService, ReaddirCostsScaleWithEntries) {
+  MetadataService svc;
+  (void)svc.execute(make(OpKind::kMkdir, "d"));
+  const OpResult empty = svc.execute(make(OpKind::kReaddir, "d"));
+  for (int i = 0; i < 100; ++i) {
+    (void)svc.execute(make(OpKind::kCreate, "d/f" + std::to_string(i)));
+  }
+  const OpResult full = svc.execute(make(OpKind::kReaddir, "d"));
+  EXPECT_NEAR(full.demand - empty.demand, 100 * svc.cost().per_dirent,
+              1e-12);
+}
+
+TEST(MetadataService, OpenCloseLifecycle) {
+  MetadataService svc;
+  (void)svc.execute(make(OpKind::kCreate, "f"));
+  MetadataOp open = make(OpKind::kOpen, "f");
+  open.session = SessionId{1};
+  open.mode = LockMode::kExclusive;
+  EXPECT_EQ(svc.execute(open).status, OpStatus::kOk);
+
+  MetadataOp open2 = open;
+  open2.session = SessionId{2};
+  EXPECT_EQ(svc.execute(open2).status, OpStatus::kLockConflict);
+
+  MetadataOp close = make(OpKind::kClose, "f");
+  close.session = SessionId{1};
+  EXPECT_EQ(svc.execute(close).status, OpStatus::kOk);
+  EXPECT_EQ(svc.execute(open2).status, OpStatus::kOk);
+}
+
+TEST(MetadataService, OpenMissingFileFails) {
+  MetadataService svc;
+  MetadataOp open = make(OpKind::kOpen, "ghost");
+  open.session = SessionId{1};
+  EXPECT_EQ(svc.execute(open).status, OpStatus::kNotFound);
+  EXPECT_FALSE(svc.locks().is_locked(InodeId{1}));
+}
+
+TEST(MetadataService, SessionReclaimFreesLocks) {
+  MetadataService svc;
+  (void)svc.execute(make(OpKind::kCreate, "f1"));
+  (void)svc.execute(make(OpKind::kCreate, "f2"));
+  for (const char* path : {"f1", "f2"}) {
+    MetadataOp open = make(OpKind::kOpen, path);
+    open.session = SessionId{7};
+    open.mode = LockMode::kExclusive;
+    EXPECT_EQ(svc.execute(open).status, OpStatus::kOk);
+  }
+  EXPECT_EQ(svc.reclaim_session(SessionId{7}), 2u);
+  MetadataOp open = make(OpKind::kOpen, "f1");
+  open.session = SessionId{8};
+  open.mode = LockMode::kExclusive;
+  EXPECT_EQ(svc.execute(open).status, OpStatus::kOk);
+}
+
+TEST(MetadataService, RenameMovesLockedInodeIdentity) {
+  MetadataService svc;
+  (void)svc.execute(make(OpKind::kCreate, "f"));
+  MetadataOp open = make(OpKind::kOpen, "f");
+  open.session = SessionId{1};
+  (void)svc.execute(open);
+  EXPECT_EQ(svc.execute(make(OpKind::kRename, "f", "g")).status,
+            OpStatus::kOk);
+  // The lock follows the inode, which is now reachable as "g".
+  MetadataOp close = make(OpKind::kClose, "g");
+  close.session = SessionId{1};
+  EXPECT_EQ(svc.execute(close).status, OpStatus::kOk);
+}
+
+TEST(MetadataService, CountsByStatus) {
+  MetadataService svc;
+  (void)svc.execute(make(OpKind::kCreate, "f"));
+  (void)svc.execute(make(OpKind::kCreate, "f"));   // exists
+  (void)svc.execute(make(OpKind::kLookup, "nope"));  // not found
+  EXPECT_EQ(svc.executed(), 3u);
+  EXPECT_EQ(svc.failed(), 2u);
+  EXPECT_EQ(svc.count(OpStatus::kOk), 1u);
+  EXPECT_EQ(svc.count(OpStatus::kExists), 1u);
+  EXPECT_EQ(svc.count(OpStatus::kNotFound), 1u);
+}
+
+TEST(MetadataService, SetAttrRoundTrips) {
+  MetadataService svc;
+  (void)svc.execute(make(OpKind::kCreate, "f"));
+  MetadataOp set = make(OpKind::kSetAttr, "f");
+  set.size = 12345;
+  set.mtime = 999;
+  EXPECT_EQ(svc.execute(set).status, OpStatus::kOk);
+  const ResolveResult r = svc.tree().resolve("f");
+  EXPECT_EQ(svc.tree().attributes(r.inode)->size, 12345u);
+}
+
+TEST(MetadataService, DemandsAlwaysPositive) {
+  MetadataService svc;
+  // Even failing ops consume CPU.
+  EXPECT_GT(svc.execute(make(OpKind::kLookup, "missing")).demand, 0.0);
+  EXPECT_GT(svc.execute(make(OpKind::kUnlink, "missing")).demand, 0.0);
+}
+
+}  // namespace
+}  // namespace anufs::fsmeta

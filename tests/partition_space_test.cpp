@@ -1,0 +1,95 @@
+// Tests for the partitioned unit interval.
+#include "core/partition_space.h"
+
+#include <gtest/gtest.h>
+
+namespace anufs::core {
+namespace {
+
+TEST(PartitionSpace, RequiredPartitionsSatisfiesPaperBound) {
+  // P must be >= 2(n+1) and a power of two.
+  for (std::uint32_t n = 1; n <= 300; ++n) {
+    const std::uint32_t p = PartitionSpace::required_partitions(n);
+    EXPECT_GE(p, 2 * (n + 1)) << "n=" << n;
+    EXPECT_EQ(p & (p - 1), 0u) << "n=" << n;
+    // Minimality: half of p would violate the bound (for p > 4).
+    if (p > 4) {
+      EXPECT_LT(p / 2, 2 * (n + 1)) << "n=" << n;
+    }
+  }
+}
+
+TEST(PartitionSpace, KnownValues) {
+  EXPECT_EQ(PartitionSpace::required_partitions(1), 4u);
+  EXPECT_EQ(PartitionSpace::required_partitions(3), 8u);
+  EXPECT_EQ(PartitionSpace::required_partitions(5), 16u);
+  EXPECT_EQ(PartitionSpace::required_partitions(7), 16u);
+  EXPECT_EQ(PartitionSpace::required_partitions(8), 32u);
+}
+
+TEST(PartitionSpace, CountAndSize) {
+  const PartitionSpace space(16);
+  EXPECT_EQ(space.count(), 16u);
+  EXPECT_EQ(space.log2_count(), 4u);
+  EXPECT_EQ(space.partition_size(), Measure{1} << 60);
+}
+
+TEST(PartitionSpace, SizesTileTheInterval) {
+  const PartitionSpace space(8);
+  // 8 partitions of size 2^61 cover 2^64 exactly.
+  EXPECT_EQ(space.partition_size(), Measure{1} << 61);
+  EXPECT_EQ(space.partition_start(7) + space.partition_size(), Pos{0});
+}
+
+TEST(PartitionSpace, PartitionOfBoundaries) {
+  const PartitionSpace space(16);
+  for (std::uint32_t p = 0; p < 16; ++p) {
+    const Pos start = space.partition_start(p);
+    EXPECT_EQ(space.partition_of(start), p);
+    EXPECT_EQ(space.partition_of(start + space.partition_size() - 1), p);
+  }
+}
+
+TEST(PartitionSpace, OffsetInPartition) {
+  const PartitionSpace space(16);
+  const Pos start = space.partition_start(3);
+  EXPECT_EQ(space.offset_in_partition(start), 0u);
+  EXPECT_EQ(space.offset_in_partition(start + 12345), 12345u);
+}
+
+TEST(PartitionSpace, SufficientFor) {
+  const PartitionSpace space(16);
+  EXPECT_TRUE(space.sufficient_for(5));   // 16 >= 12
+  EXPECT_TRUE(space.sufficient_for(7));   // 16 >= 16
+  EXPECT_FALSE(space.sufficient_for(8));  // 16 < 18
+}
+
+TEST(PartitionSpace, DoubleCountPreservesBoundaries) {
+  PartitionSpace space(8);
+  const Pos old_start3 = space.partition_start(3);
+  space.double_count();
+  EXPECT_EQ(space.count(), 16u);
+  // Every old boundary remains a boundary: old partition 3's start is
+  // new partition 6's start.
+  EXPECT_EQ(space.partition_start(6), old_start3);
+}
+
+TEST(PartitionSpace, DoubleCountHalvesSize) {
+  PartitionSpace space(8);
+  const Measure before = space.partition_size();
+  space.double_count();
+  EXPECT_EQ(space.partition_size(), before / 2);
+}
+
+TEST(PartitionSpace, PartitionOfStableAcrossDoubling) {
+  // A position's partition index exactly doubles (or doubles + 1).
+  PartitionSpace space(8);
+  const Pos x = 0x9E3779B97F4A7C15ULL;
+  const std::uint32_t before = space.partition_of(x);
+  space.double_count();
+  const std::uint32_t after = space.partition_of(x);
+  EXPECT_TRUE(after == 2 * before || after == 2 * before + 1);
+}
+
+}  // namespace
+}  // namespace anufs::core

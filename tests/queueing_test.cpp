@@ -1,0 +1,310 @@
+// Tests for the FIFO queueing resource.
+#include "sim/queueing.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/distributions.h"
+#include "sim/random.h"
+#include "sim/scheduler.h"
+
+namespace anufs::sim {
+namespace {
+
+TEST(FifoServer, SingleJobLatencyIsServiceTime) {
+  Scheduler sched;
+  FifoServer server(sched, 2.0);
+  std::vector<JobCompletion> done;
+  server.submit(1.0, 7, [&](const JobCompletion& c) { done.push_back(c); });
+  sched.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0].latency(), 0.5);  // demand 1.0 / speed 2.0
+  EXPECT_DOUBLE_EQ(done[0].wait(), 0.0);
+  EXPECT_EQ(done[0].tag, 7u);
+}
+
+TEST(FifoServer, JobsServeFifo) {
+  Scheduler sched;
+  FifoServer server(sched, 1.0);
+  std::vector<std::uint64_t> order;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    server.submit(1.0, i,
+                  [&](const JobCompletion& c) { order.push_back(c.tag); });
+  }
+  sched.run();
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(FifoServer, QueueingDelaysLatency) {
+  Scheduler sched;
+  FifoServer server(sched, 1.0);
+  std::vector<double> latencies;
+  for (int i = 0; i < 3; ++i) {
+    server.submit(2.0, 0,
+                  [&](const JobCompletion& c) { latencies.push_back(c.latency()); });
+  }
+  sched.run();
+  ASSERT_EQ(latencies.size(), 3u);
+  EXPECT_DOUBLE_EQ(latencies[0], 2.0);
+  EXPECT_DOUBLE_EQ(latencies[1], 4.0);
+  EXPECT_DOUBLE_EQ(latencies[2], 6.0);
+}
+
+TEST(FifoServer, SpeedDividesServiceTime) {
+  Scheduler sched;
+  FifoServer slow(sched, 1.0);
+  FifoServer fast(sched, 9.0);
+  double slow_done = 0.0;
+  double fast_done = 0.0;
+  slow.submit(9.0, 0, [&](const JobCompletion& c) { slow_done = c.completion; });
+  fast.submit(9.0, 0, [&](const JobCompletion& c) { fast_done = c.completion; });
+  sched.run();
+  EXPECT_DOUBLE_EQ(slow_done, 9.0);
+  EXPECT_DOUBLE_EQ(fast_done, 1.0);
+}
+
+TEST(FifoServer, SpeedChangeAppliesToNextService) {
+  Scheduler sched;
+  FifoServer server(sched, 1.0);
+  std::vector<double> completions;
+  server.submit(1.0, 0,
+                [&](const JobCompletion& c) { completions.push_back(c.completion); });
+  server.submit(1.0, 1,
+                [&](const JobCompletion& c) { completions.push_back(c.completion); });
+  // Upgrade while the first job is in service.
+  sched.schedule_at(0.5, [&] { server.set_speed(2.0); });
+  sched.run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_DOUBLE_EQ(completions[0], 1.0);  // started before the upgrade
+  EXPECT_DOUBLE_EQ(completions[1], 1.5);  // 1.0 + 1.0/2.0
+}
+
+TEST(FifoServer, OccupyBlocksQueue) {
+  Scheduler sched;
+  FifoServer server(sched, 1.0);
+  bool stall_done = false;
+  double job_completion = 0.0;
+  server.occupy(5.0, [&] { stall_done = true; });
+  server.submit(1.0, 0,
+                [&](const JobCompletion& c) { job_completion = c.completion; });
+  sched.run();
+  EXPECT_TRUE(stall_done);
+  EXPECT_DOUBLE_EQ(job_completion, 6.0);
+}
+
+TEST(FifoServer, OccupyIsFifoOrdered) {
+  Scheduler sched;
+  FifoServer server(sched, 1.0);
+  double job_completion = 0.0;
+  server.submit(2.0, 0,
+                [&](const JobCompletion& c) { job_completion = c.completion; });
+  server.occupy(5.0);
+  sched.run();
+  EXPECT_DOUBLE_EQ(job_completion, 2.0);  // job entered first
+  EXPECT_DOUBLE_EQ(sched.now(), 7.0);     // stall ran after
+}
+
+TEST(FifoServer, BacklogTracksQueuedDemand) {
+  Scheduler sched;
+  FifoServer server(sched, 1.0);
+  server.submit(2.0, 0, nullptr);
+  server.submit(3.0, 0, nullptr);
+  EXPECT_DOUBLE_EQ(server.backlog_demand(), 5.0);
+  sched.run();
+  EXPECT_DOUBLE_EQ(server.backlog_demand(), 0.0);
+}
+
+TEST(FifoServer, BusyTimeAccumulates) {
+  Scheduler sched;
+  FifoServer server(sched, 2.0);
+  server.submit(4.0, 0, nullptr);
+  server.occupy(1.0);
+  sched.run();
+  EXPECT_DOUBLE_EQ(server.busy_time(), 3.0);  // 4/2 + 1
+}
+
+TEST(FifoServer, CompletedCounts) {
+  Scheduler sched;
+  FifoServer server(sched, 1.0);
+  for (int i = 0; i < 4; ++i) server.submit(0.5, 0, nullptr);
+  server.occupy(1.0);  // stalls do not count as completions
+  sched.run();
+  EXPECT_EQ(server.completed(), 4u);
+}
+
+TEST(FifoServer, QueueLengthExcludesInService) {
+  Scheduler sched;
+  FifoServer server(sched, 1.0);
+  server.submit(1.0, 0, nullptr);
+  server.submit(1.0, 0, nullptr);
+  server.submit(1.0, 0, nullptr);
+  EXPECT_TRUE(server.busy());
+  EXPECT_EQ(server.queue_length(), 3u);  // deque holds all incl. in-service
+  sched.run();
+  EXPECT_EQ(server.queue_length(), 0u);
+  EXPECT_FALSE(server.busy());
+}
+
+TEST(FifoServer, ResetDropsQueuedJobs) {
+  Scheduler sched;
+  FifoServer server(sched, 1.0);
+  int completions = 0;
+  for (int i = 0; i < 5; ++i) {
+    server.submit(1.0, 0, [&](const JobCompletion&) { ++completions; });
+  }
+  sched.schedule_at(2.5, [&] {
+    const std::size_t lost = server.reset();
+    EXPECT_EQ(lost, 3u);  // 2 completed (t=1,2), 3 dropped
+  });
+  sched.run();
+  EXPECT_EQ(completions, 2);
+  EXPECT_FALSE(server.busy());
+}
+
+TEST(FifoServer, ResetOrphansInFlightCompletion) {
+  Scheduler sched;
+  FifoServer server(sched, 1.0);
+  bool completed = false;
+  server.submit(2.0, 0, [&](const JobCompletion&) { completed = true; });
+  sched.schedule_at(1.0, [&] { server.reset(); });
+  sched.run();
+  EXPECT_FALSE(completed);  // the scheduled completion event was stale
+}
+
+TEST(FifoServer, UsableAfterReset) {
+  Scheduler sched;
+  FifoServer server(sched, 1.0);
+  server.submit(10.0, 0, nullptr);
+  sched.schedule_at(1.0, [&] {
+    server.reset();
+    bool completed = false;
+    server.submit(1.0, 1, [&](const JobCompletion& c) {
+      completed = true;
+      EXPECT_DOUBLE_EQ(c.latency(), 1.0);
+    });
+    (void)completed;
+  });
+  sched.run();
+  EXPECT_EQ(server.completed(), 1u);
+}
+
+TEST(FifoServer, BackdatedArrivalExtendsLatency) {
+  Scheduler sched;
+  FifoServer server(sched, 1.0);
+  double latency = 0.0;
+  sched.schedule_at(10.0, [&] {
+    server.submit(1.0, 0,
+                  [&](const JobCompletion& c) { latency = c.latency(); },
+                  /*arrival=*/4.0);
+  });
+  sched.run();
+  EXPECT_DOUBLE_EQ(latency, 7.0);  // waited 6 held + 1 service
+}
+
+TEST(FifoServer, DeferredDemandEvaluatedAtServiceStart) {
+  Scheduler sched;
+  FifoServer server(sched, 1.0);
+  double current_cost = 1.0;
+  std::vector<double> served;
+  // Two deferred jobs; the cost variable changes between their starts.
+  for (int i = 0; i < 2; ++i) {
+    server.submit_deferred(
+        [&current_cost] { return current_cost; }, 0,
+        [&](const JobCompletion& c) { served.push_back(c.demand); });
+  }
+  sched.schedule_at(0.5, [&] { current_cost = 3.0; });
+  sched.run();
+  ASSERT_EQ(served.size(), 2u);
+  EXPECT_DOUBLE_EQ(served[0], 1.0);  // started at t=0 with cost 1
+  EXPECT_DOUBLE_EQ(served[1], 3.0);  // started at t=1 after the change
+}
+
+TEST(FifoServer, DeferredJobsKeepFifoOrder) {
+  Scheduler sched;
+  FifoServer server(sched, 2.0);
+  std::vector<std::uint64_t> order;
+  server.submit(1.0, 1,
+                [&](const JobCompletion& c) { order.push_back(c.tag); });
+  server.submit_deferred([] { return 1.0; }, 2,
+                         [&](const JobCompletion& c) {
+                           order.push_back(c.tag);
+                         });
+  server.submit(1.0, 3,
+                [&](const JobCompletion& c) { order.push_back(c.tag); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(FifoServer, DeferredDemandDividedBySpeed) {
+  Scheduler sched;
+  FifoServer server(sched, 4.0);
+  double completion = 0.0;
+  server.submit_deferred([] { return 2.0; }, 0,
+                         [&](const JobCompletion& c) {
+                           completion = c.completion;
+                         });
+  sched.run();
+  EXPECT_DOUBLE_EQ(completion, 0.5);
+}
+
+TEST(FifoServer, DeferredEvaluatedExactlyOnce) {
+  Scheduler sched;
+  FifoServer server(sched, 1.0);
+  int evaluations = 0;
+  server.submit_deferred(
+      [&evaluations] {
+        ++evaluations;
+        return 1.0;
+      },
+      0, nullptr);
+  sched.run();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(FifoServer, DeferredLostOnReset) {
+  Scheduler sched;
+  FifoServer server(sched, 1.0);
+  int evaluations = 0;
+  server.submit(5.0, 0, nullptr);  // keeps the channel busy
+  server.submit_deferred(
+      [&evaluations] {
+        ++evaluations;
+        return 1.0;
+      },
+      0, nullptr);
+  sched.schedule_at(1.0, [&] { EXPECT_EQ(server.reset(), 2u); });
+  sched.run();
+  EXPECT_EQ(evaluations, 0);  // never reached service
+}
+
+// M/M/1 sanity: with utilization rho, mean sojourn time converges to
+// E[S]/(1-rho). This validates the queueing core against theory.
+TEST(FifoServer, MM1MeanSojourn) {
+  Scheduler sched;
+  FifoServer server(sched, 1.0);
+  Xoshiro256 rng{42};
+  const double lambda = 0.5;   // arrivals per second
+  const double mean_service = 1.0;  // rho = 0.5
+  double total_latency = 0.0;
+  std::uint64_t completions = 0;
+
+  double t = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    t += sample_exponential(rng, lambda);
+    const double demand = sample_exponential(rng, 1.0 / mean_service);
+    sched.schedule_at(t, [&, demand] {
+      server.submit(demand, 0, [&](const JobCompletion& c) {
+        total_latency += c.latency();
+        ++completions;
+      });
+    });
+  }
+  sched.run();
+  const double mean = total_latency / static_cast<double>(completions);
+  // Theory: E[T] = E[S]/(1-rho) = 1/(1-0.5) = 2.0. Allow 5% noise.
+  EXPECT_NEAR(mean, 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace anufs::sim

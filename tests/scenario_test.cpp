@@ -1,0 +1,163 @@
+// Tests for the scenario driver: config parsing and end-to-end runs.
+#include "driver/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace anufs::driver {
+namespace {
+
+TEST(ScenarioParse, Defaults) {
+  const ScenarioConfig c = parse_scenario_text("");
+  EXPECT_EQ(c.workload, "synthetic");
+  EXPECT_EQ(c.policy, "anu");
+  EXPECT_EQ(c.cluster.server_speeds.size(), 5u);
+  EXPECT_FALSE(c.emit_series);
+}
+
+TEST(ScenarioParse, FullConfig) {
+  const ScenarioConfig c = parse_scenario_text(R"(
+# a comment
+workload dfstrace
+policy prescient
+servers 2,4,8
+period 60
+duration 1800
+requests 50000
+file_sets 21
+seed 7
+san on
+detector on
+routing_delay 10
+movement off
+threshold 0.75
+max_scale 3.0
+average median
+fail 600 2
+recover 900 2
+add 1200 3 8.0
+emit series
+)");
+  EXPECT_EQ(c.workload, "dfstrace");
+  EXPECT_EQ(c.policy, "prescient");
+  EXPECT_EQ(c.cluster.server_speeds, (std::vector<double>{2, 4, 8}));
+  EXPECT_EQ(c.cluster.reconfig_period, 60.0);
+  EXPECT_EQ(c.duration, 1800.0);
+  EXPECT_EQ(c.requests, 50000u);
+  EXPECT_EQ(c.file_sets, 21u);
+  EXPECT_EQ(c.seed, 7u);
+  EXPECT_TRUE(c.cluster.san.enabled);
+  EXPECT_TRUE(c.cluster.detector.enabled);
+  EXPECT_TRUE(c.cluster.routing.model_staleness);
+  EXPECT_EQ(c.cluster.routing.distribution_delay, 10.0);
+  EXPECT_FALSE(c.cluster.movement.enabled);
+  EXPECT_EQ(c.threshold, 0.75);
+  EXPECT_EQ(c.max_scale, 3.0);
+  EXPECT_TRUE(c.median_average);
+  ASSERT_EQ(c.events.size(), 3u);
+  EXPECT_EQ(c.events[0].kind, MembershipEvent::Kind::kFail);
+  EXPECT_EQ(c.events[2].kind, MembershipEvent::Kind::kAdd);
+  EXPECT_EQ(c.events[2].speed, 8.0);
+  EXPECT_TRUE(c.emit_series);
+}
+
+TEST(ScenarioParseDeathTest, UnknownKey) {
+  EXPECT_DEATH((void)parse_scenario_text("frobnicate 1\n"), "unknown key");
+}
+
+TEST(ScenarioParseDeathTest, BadOnOff) {
+  EXPECT_DEATH((void)parse_scenario_text("san maybe\n"), "on.off");
+}
+
+TEST(ScenarioParseDeathTest, MissingValue) {
+  EXPECT_DEATH((void)parse_scenario_text("period\n"), "missing");
+}
+
+TEST(ScenarioRun, SmallAnuRun) {
+  const ScenarioConfig c = parse_scenario_text(R"(
+workload synthetic
+policy anu
+requests 4000
+duration 600
+file_sets 40
+seed 3
+)");
+  std::ostringstream os;
+  const cluster::RunResult r = run_scenario(c, os);
+  EXPECT_GT(r.completed, 3000u);
+  EXPECT_NE(os.str().find("run-mean latency"), std::string::npos);
+}
+
+TEST(ScenarioRun, EveryPolicyRuns) {
+  for (const char* policy :
+       {"anu", "anu-pairwise", "prescient", "round-robin", "simple-random",
+        "weighted-hash", "consistent-hash"}) {
+    const ScenarioConfig c = parse_scenario_text(
+        std::string("workload synthetic\nrequests 2000\nduration 400\n"
+                    "file_sets 20\npolicy ") +
+        policy + "\n");
+    std::ostringstream os;
+    const cluster::RunResult r = run_scenario(c, os);
+    EXPECT_GT(r.completed, 1000u) << policy;
+  }
+}
+
+TEST(ScenarioRun, MembershipScriptExecutes) {
+  const ScenarioConfig c = parse_scenario_text(R"(
+workload synthetic
+policy anu
+requests 4000
+duration 800
+file_sets 40
+fail 200 4
+recover 500 4
+add 600 5 9.0
+)");
+  std::ostringstream os;
+  const cluster::RunResult r = run_scenario(c, os);
+  // Six servers by the end (the added one included in accounting).
+  EXPECT_TRUE(r.server_completed.contains(5));
+}
+
+TEST(ScenarioRun, OpmixWorkloadRuns) {
+  const ScenarioConfig c = parse_scenario_text(R"(
+workload opmix
+policy anu
+requests 3000
+duration 500
+file_sets 20
+)");
+  std::ostringstream os;
+  const cluster::RunResult r = run_scenario(c, os);
+  EXPECT_GT(r.completed, 2000u);
+}
+
+TEST(ScenarioRun, SeriesEmissionContainsHeader) {
+  const ScenarioConfig c = parse_scenario_text(R"(
+workload synthetic
+requests 2000
+duration 400
+file_sets 20
+emit series
+)");
+  std::ostringstream os;
+  (void)run_scenario(c, os);
+  EXPECT_NE(os.str().find("# time_min"), std::string::npos);
+}
+
+TEST(ScenarioRun, SanMetricsEmittedWhenEnabled) {
+  const ScenarioConfig c = parse_scenario_text(R"(
+workload synthetic
+requests 2000
+duration 400
+file_sets 20
+san on
+)");
+  std::ostringstream os;
+  (void)run_scenario(c, os);
+  EXPECT_NE(os.str().find("san busy"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anufs::driver

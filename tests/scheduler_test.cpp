@@ -1,0 +1,183 @@
+// Tests for the discrete-event scheduler: ordering, determinism,
+// cancellation, horizons.
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace anufs::sim {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZero) {
+  Scheduler sched;
+  EXPECT_EQ(sched.now(), 0.0);
+  EXPECT_TRUE(sched.empty());
+  EXPECT_EQ(sched.fired(), 0u);
+}
+
+TEST(Scheduler, FiresInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(3.0, [&] { order.push_back(3); });
+  sched.schedule_at(1.0, [&] { order.push_back(1); });
+  sched.schedule_at(2.0, [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 3.0);
+}
+
+TEST(Scheduler, SameTimeFiresInScheduleOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, ClockAdvancesToEventTime) {
+  Scheduler sched;
+  double seen = -1.0;
+  sched.schedule_at(5.5, [&] { seen = sched.now(); });
+  sched.run();
+  EXPECT_EQ(seen, 5.5);
+}
+
+TEST(Scheduler, ScheduleInIsRelative) {
+  Scheduler sched;
+  double seen = -1.0;
+  sched.schedule_at(2.0, [&] {
+    sched.schedule_in(3.0, [&] { seen = sched.now(); });
+  });
+  sched.run();
+  EXPECT_EQ(seen, 5.0);
+}
+
+TEST(Scheduler, HandlerMayScheduleAtCurrentTime) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(1.0, [&] {
+    order.push_back(1);
+    sched.schedule_at(1.0, [&] { order.push_back(2); });
+  });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, CancelPreventsFiring) {
+  Scheduler sched;
+  bool fired = false;
+  const EventId id = sched.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sched.cancel(id));
+  sched.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sched.fired(), 0u);
+}
+
+TEST(Scheduler, CancelTwiceReturnsFalse) {
+  Scheduler sched;
+  const EventId id = sched.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sched.cancel(id));
+  EXPECT_FALSE(sched.cancel(id));
+}
+
+TEST(Scheduler, CancelAfterFireReturnsFalse) {
+  Scheduler sched;
+  const EventId id = sched.schedule_at(1.0, [] {});
+  sched.run();
+  EXPECT_FALSE(sched.cancel(id));
+}
+
+TEST(Scheduler, PendingCountsUnfiredUncancelled) {
+  Scheduler sched;
+  const EventId a = sched.schedule_at(1.0, [] {});
+  sched.schedule_at(2.0, [] {});
+  EXPECT_EQ(sched.pending(), 2u);
+  sched.cancel(a);
+  EXPECT_EQ(sched.pending(), 1u);
+}
+
+TEST(Scheduler, RunUntilStopsAtHorizon) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(1.0, [&] { order.push_back(1); });
+  sched.schedule_at(2.0, [&] { order.push_back(2); });
+  sched.schedule_at(3.0, [&] { order.push_back(3); });
+  sched.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sched.now(), 2.0);
+  EXPECT_EQ(sched.pending(), 1u);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockWithoutEvents) {
+  Scheduler sched;
+  sched.run_until(10.0);
+  EXPECT_EQ(sched.now(), 10.0);
+}
+
+TEST(Scheduler, EventAtHorizonFires) {
+  Scheduler sched;
+  bool fired = false;
+  sched.schedule_at(2.0, [&] { fired = true; });
+  sched.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, StepFiresExactlyOne) {
+  Scheduler sched;
+  int count = 0;
+  sched.schedule_at(1.0, [&] { ++count; });
+  sched.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(sched.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sched.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sched.step());
+}
+
+TEST(Scheduler, CascadedEventsAllFire) {
+  Scheduler sched;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sched.schedule_in(0.5, chain);
+  };
+  sched.schedule_in(0.5, chain);
+  sched.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_NEAR(sched.now(), 50.0, 1e-9);
+}
+
+TEST(Scheduler, FiredCounterTracksHandlers) {
+  Scheduler sched;
+  for (int i = 0; i < 7; ++i) sched.schedule_at(1.0 + i, [] {});
+  sched.run();
+  EXPECT_EQ(sched.fired(), 7u);
+}
+
+TEST(Scheduler, CancelFromWithinHandler) {
+  Scheduler sched;
+  bool late_fired = false;
+  const EventId late = sched.schedule_at(5.0, [&] { late_fired = true; });
+  sched.schedule_at(1.0, [&] { sched.cancel(late); });
+  sched.run();
+  EXPECT_FALSE(late_fired);
+}
+
+TEST(Scheduler, ManyEventsDeterministicOrder) {
+  // Two identical schedules must produce identical firing orders.
+  const auto run_once = [] {
+    Scheduler sched;
+    std::vector<int> order;
+    for (int i = 0; i < 500; ++i) {
+      sched.schedule_at((i * 7919) % 100, [&order, i] { order.push_back(i); });
+    }
+    sched.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace anufs::sim

@@ -1,0 +1,195 @@
+// Tests for the capacity-aware static baselines: weighted hashing and
+// the consistent-hash ring.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "policies/consistent_hash.h"
+#include "policies/weighted_hash.h"
+#include "workload/synthetic.h"
+
+namespace anufs::policy {
+namespace {
+
+std::vector<workload::FileSetSpec> make_sets(std::uint32_t n) {
+  std::vector<workload::FileSetSpec> sets;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    sets.push_back(
+        workload::FileSetSpec::make(i, "fs" + std::to_string(i), 1.0));
+  }
+  return sets;
+}
+
+std::vector<ServerId> make_servers(std::uint32_t n) {
+  std::vector<ServerId> servers;
+  for (std::uint32_t i = 0; i < n; ++i) servers.push_back(ServerId{i});
+  return servers;
+}
+
+std::map<ServerId, double> paper_caps(std::uint32_t extra = 0) {
+  std::map<ServerId, double> caps;
+  const double speeds[] = {1, 3, 5, 7, 9};
+  for (std::uint32_t i = 0; i < 5 + extra; ++i) {
+    caps[ServerId{i}] = speeds[i % 5];
+  }
+  return caps;
+}
+
+// ---- weighted hashing --------------------------------------------------
+
+TEST(WeightedHash, LoadProportionalToCapacity) {
+  WeightedHashPolicy policy(paper_caps());
+  policy.initialize(make_sets(5000), make_servers(5));
+  std::map<ServerId, int> counts;
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    ++counts[policy.owner(FileSetId{i})];
+  }
+  // Capacity shares: 1/25, 3/25, ... within sampling noise.
+  const double speeds[] = {1, 3, 5, 7, 9};
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(counts[ServerId{i}] / 5000.0, speeds[i] / 25.0, 0.02)
+        << "server " << i;
+  }
+}
+
+TEST(WeightedHash, StaticUnderLatencyReports) {
+  WeightedHashPolicy policy(paper_caps());
+  policy.initialize(make_sets(100), make_servers(5));
+  const std::vector<core::ServerReport> reports{
+      {ServerId{0}, 9.0, 100}, {ServerId{1}, 0.001, 100},
+      {ServerId{2}, 0.001, 100}, {ServerId{3}, 0.001, 100},
+      {ServerId{4}, 0.001, 100}};
+  EXPECT_TRUE(policy.rebalance(120.0, reports).empty());
+}
+
+TEST(WeightedHash, Deterministic) {
+  WeightedHashPolicy a(paper_caps());
+  WeightedHashPolicy b(paper_caps());
+  a.initialize(make_sets(200), make_servers(5));
+  b.initialize(make_sets(200), make_servers(5));
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.owner(FileSetId{i}), b.owner(FileSetId{i}));
+  }
+}
+
+TEST(WeightedHash, FailureRehomesAndReproportions) {
+  WeightedHashPolicy policy(paper_caps());
+  policy.initialize(make_sets(1000), make_servers(5));
+  const std::vector<Move> moves = policy.on_server_failed(ServerId{4});
+  // The victim held ~9/25 = 36% of sets; movement is at least that,
+  // far below a rehash-all.
+  EXPECT_GT(moves.size(), 250u);
+  EXPECT_LT(moves.size(), 700u);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_NE(policy.owner(FileSetId{i}), ServerId{4});
+  }
+  policy.placement().regions().check_invariants();
+}
+
+TEST(WeightedHash, AdditionTakesProportionalShare) {
+  std::map<ServerId, double> caps = paper_caps(1);  // id 5, capacity 1
+  WeightedHashPolicy policy(caps);
+  policy.initialize(make_sets(2000), make_servers(5));
+  (void)policy.on_server_added(ServerId{5});
+  int newcomer = 0;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    if (policy.owner(FileSetId{i}) == ServerId{5}) ++newcomer;
+  }
+  // Capacity 1 of 26 total: ~77 sets.
+  EXPECT_NEAR(newcomer, 2000.0 / 26.0, 40.0);
+}
+
+// ---- consistent hashing -------------------------------------------------
+
+TEST(ConsistentHash, RingPointsScaleWithCapacity) {
+  ConsistentHashPolicy policy(paper_caps());
+  policy.initialize(make_sets(10), make_servers(5));
+  // 8 vnodes per capacity unit over capacities 1+3+5+7+9 = 25 -> 200.
+  EXPECT_EQ(policy.ring_points(), 200u);
+}
+
+TEST(ConsistentHash, LoadRoughlyProportionalToCapacity) {
+  ConsistentHashPolicy policy(paper_caps());
+  policy.initialize(make_sets(5000), make_servers(5));
+  std::map<ServerId, int> counts;
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    ++counts[policy.owner(FileSetId{i})];
+  }
+  const double speeds[] = {1, 3, 5, 7, 9};
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    // Ring arcs are noisier than region shares: wide tolerance.
+    EXPECT_NEAR(counts[ServerId{i}] / 5000.0, speeds[i] / 25.0, 0.08)
+        << "server " << i;
+  }
+}
+
+TEST(ConsistentHash, OwnerMatchesRingSuccessor) {
+  ConsistentHashPolicy policy(paper_caps());
+  const std::vector<workload::FileSetSpec> sets = make_sets(100);
+  policy.initialize(sets, make_servers(5));
+  for (const workload::FileSetSpec& fs : sets) {
+    EXPECT_EQ(policy.owner(fs.id), policy.ring_owner(fs.fingerprint));
+  }
+}
+
+TEST(ConsistentHash, FailureMovesOnlyVictimSets) {
+  ConsistentHashPolicy policy(paper_caps());
+  policy.initialize(make_sets(1000), make_servers(5));
+  std::map<FileSetId, ServerId> before;
+  int victims = 0;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    before[FileSetId{i}] = policy.owner(FileSetId{i});
+    if (before[FileSetId{i}] == ServerId{1}) ++victims;
+  }
+  const std::vector<Move> moves = policy.on_server_failed(ServerId{1});
+  // The defining property of consistent hashing: EXACTLY the victim's
+  // sets move (arcs merge into successors; nobody else changes).
+  EXPECT_EQ(static_cast<int>(moves.size()), victims);
+  for (const auto& [fs, owner] : before) {
+    if (owner != ServerId{1}) {
+      EXPECT_EQ(policy.owner(fs), owner);
+    }
+  }
+}
+
+TEST(ConsistentHash, RecoveryRestoresExactAssignment) {
+  ConsistentHashPolicy policy(paper_caps());
+  policy.initialize(make_sets(500), make_servers(5));
+  std::map<FileSetId, ServerId> before;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    before[FileSetId{i}] = policy.owner(FileSetId{i});
+  }
+  (void)policy.on_server_failed(ServerId{2});
+  (void)policy.on_server_added(ServerId{2});
+  // The ring is deterministic: recovery reproduces the original map.
+  for (const auto& [fs, owner] : before) {
+    EXPECT_EQ(policy.owner(fs), owner);
+  }
+}
+
+TEST(ConsistentHash, StaticUnderLatencyReports) {
+  ConsistentHashPolicy policy(paper_caps());
+  policy.initialize(make_sets(50), make_servers(5));
+  const std::vector<core::ServerReport> reports{
+      {ServerId{0}, 9.0, 100}, {ServerId{1}, 0.001, 100},
+      {ServerId{2}, 0.001, 100}, {ServerId{3}, 0.001, 100},
+      {ServerId{4}, 0.001, 100}};
+  EXPECT_TRUE(policy.rebalance(120.0, reports).empty());
+}
+
+TEST(ConsistentHash, SaltChangesPlacement) {
+  ConsistentHashConfig salted;
+  salted.salt = 12345;
+  ConsistentHashPolicy a(paper_caps());
+  ConsistentHashPolicy b(paper_caps(), salted);
+  a.initialize(make_sets(200), make_servers(5));
+  b.initialize(make_sets(200), make_servers(5));
+  int same = 0;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    if (a.owner(FileSetId{i}) == b.owner(FileSetId{i})) ++same;
+  }
+  EXPECT_LT(same, 180);
+}
+
+}  // namespace
+}  // namespace anufs::policy

@@ -1,0 +1,60 @@
+// anufs_trace: inspect or generate workload traces.
+//
+//   ./anufs_trace analyze <trace-file>        # profile a saved trace
+//   ./anufs_trace gen synthetic <out-file>    # generate + save
+//   ./anufs_trace gen dfstrace <out-file>
+//   ./anufs_trace gen opmix <out-file>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "workload/analysis.h"
+#include "workload/dfstrace_like.h"
+#include "workload/op_workload.h"
+#include "workload/synthetic.h"
+#include "workload/trace_io.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s analyze <trace-file>\n"
+               "       %s gen synthetic|dfstrace|opmix <out-file>\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace anufs;
+  if (argc < 3) return usage(argv[0]);
+
+  if (std::strcmp(argv[1], "analyze") == 0) {
+    const workload::Workload work = workload::load_trace(argv[2]);
+    std::printf("trace: %s\n\n", argv[2]);
+    workload::print_analysis(std::cout, workload::analyze(work));
+    return 0;
+  }
+  if (std::strcmp(argv[1], "gen") == 0 && argc == 4) {
+    workload::Workload work;
+    const std::string kind = argv[2];
+    if (kind == "synthetic") {
+      work = workload::make_synthetic(workload::SyntheticConfig{});
+    } else if (kind == "dfstrace") {
+      work = workload::make_dfstrace_like(workload::DfsTraceLikeConfig{});
+    } else if (kind == "opmix") {
+      work = workload::make_op_workload(workload::OpWorkloadConfig{})
+                 .workload;
+    } else {
+      return usage(argv[0]);
+    }
+    workload::save_trace(argv[3], work);
+    std::printf("wrote %s (%zu requests, %zu file sets)\n\n", argv[3],
+                work.request_count(), work.file_sets.size());
+    workload::print_analysis(std::cout, workload::analyze(work));
+    return 0;
+  }
+  return usage(argv[0]);
+}
