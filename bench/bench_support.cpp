@@ -1,5 +1,8 @@
 #include "bench_support.h"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "common/check.h"
 #include "policies/anu_policy.h"
 #include "policies/prescient.h"
@@ -52,6 +55,24 @@ cluster::RunResult run_policy(const std::string& name,
       make_policy(name, cluster, work, stationary_prescient);
   cluster::ClusterSim sim(cluster, work, *pol);
   return sim.run();
+}
+
+std::size_t bench_jobs() {
+  if (const char* env = std::getenv("ANUFS_JOBS")) {
+    const unsigned long n = std::strtoul(env, nullptr, 10);
+    if (n >= 1) return static_cast<std::size_t>(n);
+  }
+  return sim::ThreadPool::hardware_jobs();
+}
+
+std::size_t bench_jobs_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      const unsigned long n = std::strtoul(argv[i + 1], nullptr, 10);
+      if (n >= 1) return static_cast<std::size_t>(n);
+    }
+  }
+  return bench_jobs();
 }
 
 cluster::RunResult run_anu_variant(const cluster::ClusterConfig& cluster,

@@ -2,11 +2,15 @@
 // instantiates a policy by name, runs the simulation, and emits series.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <vector>
 
 #include "cluster/cluster_sim.h"
 #include "policies/policy.h"
+#include "sim/thread_pool.h"
 #include "workload/spec.h"
 
 namespace anufs::bench {
@@ -33,5 +37,28 @@ namespace anufs::bench {
 [[nodiscard]] cluster::RunResult run_anu_variant(
     const cluster::ClusterConfig& cluster, const workload::Workload& work,
     bool thresholding, bool top_off, bool divergent);
+
+/// Worker-thread count for bench sweeps: the ANUFS_JOBS environment
+/// variable if set (>= 1), else the hardware concurrency. The sweeps'
+/// RESULTS never depend on this — only their wall-clock time does.
+[[nodiscard]] std::size_t bench_jobs();
+
+/// Parse `--jobs N` from a bench binary's argv; any other argument is
+/// ignored. Falls back to bench_jobs().
+[[nodiscard]] std::size_t bench_jobs_from_args(int argc, char** argv);
+
+/// Run fn(0..count-1) on `jobs` threads and return the results in index
+/// order. fn must be safe to call concurrently for distinct indices —
+/// in practice: build the whole simulation (workload, policy,
+/// ClusterSim) inside fn so each run owns its own state.
+template <typename Fn>
+[[nodiscard]] auto collect_parallel(std::size_t count, std::size_t jobs,
+                                    Fn&& fn) {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  std::vector<R> out(count);
+  sim::parallel_for(count, jobs,
+                    [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
 
 }  // namespace anufs::bench

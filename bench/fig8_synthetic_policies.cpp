@@ -7,12 +7,13 @@
 // for the duration" (stationary workload) and stays balanced; ANU takes
 // a few periods to discover the heterogeneity, then is comparable.
 #include <iostream>
+#include <vector>
 
 #include "bench_support.h"
 #include "metrics/emit.h"
 #include "workload/synthetic.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace anufs;
   const workload::Workload work =
       workload::make_synthetic(workload::SyntheticConfig{});
@@ -20,16 +21,24 @@ int main() {
             << work.request_count() << " requests, " << work.file_sets.size()
             << " file sets, activity skew " << work.activity_skew() << "x\n";
 
-  for (const char* name :
-       {"simple-random", "round-robin", "prescient", "anu"}) {
-    const cluster::RunResult result = bench::run_policy(
-        name, bench::paper_cluster(), work, /*stationary_prescient=*/true);
+  // The four policies are independent runs; execute them concurrently
+  // (each builds its own policy + ClusterSim) and emit in fixed order.
+  const std::vector<const char*> names = {"simple-random", "round-robin",
+                                          "prescient", "anu"};
+  const std::vector<cluster::RunResult> results = bench::collect_parallel(
+      names.size(), bench::bench_jobs_from_args(argc, argv),
+      [&](std::size_t i) {
+        return bench::run_policy(names[i], bench::paper_cluster(), work,
+                                 /*stationary_prescient=*/true);
+      });
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const cluster::RunResult& result = results[i];
     metrics::emit_bundle(std::cout,
-                         std::string("Fig8 ") + name +
+                         std::string("Fig8 ") + names[i] +
                              " per-server mean latency (ms)",
                          result.latency_ms);
-    std::cout << "# " << name << ": completed " << result.completed << "/"
-              << result.total_requests << ", moves " << result.moves
+    std::cout << "# " << names[i] << ": completed " << result.completed
+              << "/" << result.total_requests << ", moves " << result.moves
               << ", run-mean " << result.mean_latency * 1e3 << " ms\n\n";
   }
   return 0;

@@ -2,6 +2,12 @@
 // across many workload seeds, reported as mean +/- stddev. Guards
 // against any single-seed artifact in the figures (which, following the
 // paper, show one representative run).
+//
+// The (policy, seed) grid is embarrassingly parallel and runs on the
+// parallel experiment runner: each cell builds its own workload, policy,
+// and ClusterSim, so the numbers are identical for every --jobs value
+// (ANUFS_JOBS or --jobs N to control; --jobs 1 is the serial reference).
+#include <chrono>
 #include <cmath>
 #include <iostream>
 #include <vector>
@@ -15,9 +21,10 @@ namespace {
 
 using namespace anufs;
 
-struct Samples {
-  std::vector<double> run_mean_ms;
-  std::vector<double> worst_tail_ms;
+struct CellResult {
+  double run_mean_ms = 0.0;
+  double worst_tail_ms = 0.0;
+  std::uint64_t events = 0;
 };
 
 std::string pm(const std::vector<double>& xs) {
@@ -28,33 +35,63 @@ std::string pm(const std::vector<double>& xs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr int kSeeds = 10;
+  const std::vector<const char*> policies = {"round-robin", "prescient",
+                                             "anu"};
+  const std::size_t jobs = bench::bench_jobs_from_args(argc, argv);
+
+  const auto start = std::chrono::steady_clock::now();
+  // One cell per (policy, seed); cell i is policy i / kSeeds, seed
+  // i % kSeeds + 1. Results land in index-owned slots, in grid order.
+  const std::vector<CellResult> cells = bench::collect_parallel(
+      policies.size() * kSeeds, jobs, [&](std::size_t i) {
+        const char* name = policies[i / kSeeds];
+        const int seed = static_cast<int>(i % kSeeds) + 1;
+        workload::SyntheticConfig wc;
+        wc.seed = static_cast<std::uint64_t>(seed);
+        const workload::Workload work = workload::make_synthetic(wc);
+        const cluster::RunResult r = bench::run_policy(
+            name, bench::paper_cluster(), work,
+            /*stationary_prescient=*/true);
+        CellResult cell;
+        cell.run_mean_ms = r.mean_latency * 1e3;
+        for (const std::string& label : r.latency_ms.labels()) {
+          cell.worst_tail_ms = std::max(
+              cell.worst_tail_ms, r.latency_ms.at(label).tail_mean(0.5));
+        }
+        cell.events = r.engine.fired;
+        return cell;
+      });
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
   metrics::TableEmitter table(
       std::cout, {"policy", "run_mean_ms", "worst_tail_ms", "seeds"});
   table.header(
       "Multi-seed robustness: synthetic workload across 10 seeds "
       "(mean +/- stddev over seeds)");
-
-  for (const char* name : {"round-robin", "prescient", "anu"}) {
-    Samples samples;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
-      workload::SyntheticConfig wc;
-      wc.seed = static_cast<std::uint64_t>(seed);
-      const workload::Workload work = workload::make_synthetic(wc);
-      const cluster::RunResult r = bench::run_policy(
-          name, bench::paper_cluster(), work, /*stationary_prescient=*/true);
-      samples.run_mean_ms.push_back(r.mean_latency * 1e3);
-      double worst = 0.0;
-      for (const std::string& label : r.latency_ms.labels()) {
-        worst = std::max(worst, r.latency_ms.at(label).tail_mean(0.5));
-      }
-      samples.worst_tail_ms.push_back(worst);
+  std::uint64_t events = 0;
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    std::vector<double> run_mean_ms, worst_tail_ms;
+    for (int s = 0; s < kSeeds; ++s) {
+      const CellResult& cell = cells[p * kSeeds + static_cast<std::size_t>(s)];
+      run_mean_ms.push_back(cell.run_mean_ms);
+      worst_tail_ms.push_back(cell.worst_tail_ms);
+      events += cell.events;
     }
-    table.row({name, pm(samples.run_mean_ms), pm(samples.worst_tail_ms),
+    table.row({policies[p], pm(run_mean_ms), pm(worst_tail_ms),
                std::to_string(kSeeds)});
   }
   std::cout << "# expected: the policy ordering of Figure 8 / Table H is\n"
                "# stable across seeds, not an artifact of one draw.\n";
+  std::cout << "# engine: " << events << " events, "
+            << metrics::TableEmitter::num(wall, 2) << " s wall, jobs="
+            << jobs << ", "
+            << metrics::TableEmitter::num(
+                   wall > 0 ? static_cast<double>(events) / wall / 1e6 : 0.0,
+                   2)
+            << " M events/s\n";
   return 0;
 }

@@ -20,7 +20,7 @@
 #include "policies/anu_policy.h"
 #include "workload/synthetic.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace anufs;
   const workload::Workload work =
       workload::make_synthetic(workload::SyntheticConfig{});
@@ -32,28 +32,31 @@ int main() {
       "Table C: ANU tuning-target robustness, weighted mean vs median "
       "(worst_tail = converged worst-server latency, final half)");
 
-  for (const bool movement : {false, true}) {
-    for (const core::AverageKind kind :
-         {core::AverageKind::kWeightedMean, core::AverageKind::kMedian}) {
-      core::AnuConfig config;
-      config.tuner.average = kind;
-      cluster::ClusterConfig cc = bench::paper_cluster();
-      cc.movement.enabled = movement;
-      policy::AnuPolicy anu{config};
-      cluster::ClusterSim sim(cc, work, anu);
-      const cluster::RunResult result = sim.run();
-      double worst_tail = 0.0;
-      for (const std::string& label : result.latency_ms.labels()) {
-        worst_tail = std::max(worst_tail,
-                              result.latency_ms.at(label).tail_mean(0.5));
-      }
-      table.row({kind == core::AverageKind::kWeightedMean ? "weighted-mean"
-                                                          : "median",
-                 movement ? "5-10s" : "free",
-                 metrics::TableEmitter::num(result.mean_latency * 1e3),
-                 std::to_string(result.moves),
-                 metrics::TableEmitter::num(worst_tail)});
+  // The 2x2 grid: cell i is (movement = i / 2, median = i % 2). Cells
+  // are independent runs, executed concurrently, printed in grid order.
+  const std::vector<cluster::RunResult> results = bench::collect_parallel(
+      4, bench::bench_jobs_from_args(argc, argv), [&](std::size_t i) {
+        core::AnuConfig config;
+        config.tuner.average = (i % 2 == 0) ? core::AverageKind::kWeightedMean
+                                            : core::AverageKind::kMedian;
+        cluster::ClusterConfig cc = bench::paper_cluster();
+        cc.movement.enabled = i / 2 != 0;
+        policy::AnuPolicy anu{config};
+        cluster::ClusterSim sim(cc, work, anu);
+        return sim.run();
+      });
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const cluster::RunResult& result = results[i];
+    double worst_tail = 0.0;
+    for (const std::string& label : result.latency_ms.labels()) {
+      worst_tail = std::max(worst_tail,
+                            result.latency_ms.at(label).tail_mean(0.5));
     }
+    table.row({i % 2 == 0 ? "weighted-mean" : "median",
+               i / 2 != 0 ? "5-10s" : "free",
+               metrics::TableEmitter::num(result.mean_latency * 1e3),
+               std::to_string(result.moves),
+               metrics::TableEmitter::num(worst_tail)});
   }
   std::cout << "# expected: with free moves the two averages are\n"
                "# interchangeable (the paper's robustness claim); with\n"

@@ -14,7 +14,7 @@
 #include "policies/anu_policy.h"
 #include "workload/synthetic.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace anufs;
   metrics::TableEmitter table(
       std::cout, {"servers", "threshold", "file_sets", "partitions",
@@ -26,48 +26,71 @@ int main() {
       "so t must widen too — both values shown.");
 
   // threshold -1 selects the self-managing quantile threshold.
-  for (const std::uint32_t n : {5u, 16u, 32u, 64u}) {
-   for (const double threshold : {0.5, 1.0, -1.0}) {
-    cluster::ClusterConfig cc;
-    cc.server_speeds.clear();
-    const double speeds[] = {1, 3, 5, 7, 9};
-    double capacity = 0.0;
-    for (std::uint32_t i = 0; i < n; ++i) {
-      cc.server_speeds.push_back(speeds[i % 5]);
-      capacity += speeds[i % 5];
-    }
-    workload::SyntheticConfig wc;
-    wc.file_sets = 40 * n;
-    // Keep offered load per unit capacity equal to the 5-server case.
-    wc.total_requests = static_cast<std::uint64_t>(
-        100'000.0 * capacity / 25.0);
-    wc.duration = 10'000.0;
-    wc.seed = 100 + n;
-    const workload::Workload work = workload::make_synthetic(wc);
+  const std::vector<std::uint32_t> sizes = {5u, 16u, 32u, 64u};
+  const std::vector<double> thresholds = {0.5, 1.0, -1.0};
 
-    core::AnuConfig ac;
-    if (threshold < 0) {
-      ac.tuner.auto_threshold = true;
-    } else {
-      ac.tuner.threshold = threshold;
-    }
-    policy::AnuPolicy anu{ac};
-    cluster::ClusterSim sim(cc, work, anu);
-    const cluster::RunResult r = sim.run();
-    double worst_tail = 0.0;
-    for (const std::string& label : r.latency_ms.labels()) {
-      worst_tail = std::max(worst_tail,
-                            r.latency_ms.at(label).tail_mean(0.5));
-    }
-    table.row({std::to_string(n),
+  struct Cell {
+    std::uint32_t file_sets = 0;
+    std::uint32_t partitions = 0;
+    double run_mean_ms = 0.0;
+    std::uint64_t moves = 0;
+    double worst_tail_ms = 0.0;
+  };
+  // Cell i is (sizes[i / 3], thresholds[i % 3]); the 12 runs are
+  // independent and execute concurrently, printed in grid order.
+  const std::vector<Cell> cells = bench::collect_parallel(
+      sizes.size() * thresholds.size(),
+      bench::bench_jobs_from_args(argc, argv), [&](std::size_t idx) {
+        const std::uint32_t n = sizes[idx / thresholds.size()];
+        const double threshold = thresholds[idx % thresholds.size()];
+        cluster::ClusterConfig cc;
+        cc.server_speeds.clear();
+        const double speeds[] = {1, 3, 5, 7, 9};
+        double capacity = 0.0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+          cc.server_speeds.push_back(speeds[i % 5]);
+          capacity += speeds[i % 5];
+        }
+        workload::SyntheticConfig wc;
+        wc.file_sets = 40 * n;
+        // Keep offered load per unit capacity equal to the 5-server case.
+        wc.total_requests = static_cast<std::uint64_t>(
+            100'000.0 * capacity / 25.0);
+        wc.duration = 10'000.0;
+        wc.seed = 100 + n;
+        const workload::Workload work = workload::make_synthetic(wc);
+
+        core::AnuConfig ac;
+        if (threshold < 0) {
+          ac.tuner.auto_threshold = true;
+        } else {
+          ac.tuner.threshold = threshold;
+        }
+        policy::AnuPolicy anu{ac};
+        cluster::ClusterSim sim(cc, work, anu);
+        const cluster::RunResult r = sim.run();
+        Cell cell;
+        cell.file_sets = wc.file_sets;
+        cell.partitions = anu.system().regions().space().count();
+        cell.run_mean_ms = r.mean_latency * 1e3;
+        cell.moves = r.moves;
+        for (const std::string& label : r.latency_ms.labels()) {
+          cell.worst_tail_ms = std::max(
+              cell.worst_tail_ms, r.latency_ms.at(label).tail_mean(0.5));
+        }
+        return cell;
+      });
+  for (std::size_t idx = 0; idx < cells.size(); ++idx) {
+    const Cell& cell = cells[idx];
+    const double threshold = thresholds[idx % thresholds.size()];
+    table.row({std::to_string(sizes[idx / thresholds.size()]),
                threshold < 0 ? "auto"
                              : metrics::TableEmitter::num(threshold, 1),
-               std::to_string(wc.file_sets),
-               std::to_string(anu.system().regions().space().count()),
-               metrics::TableEmitter::num(r.mean_latency * 1e3, 2),
-               std::to_string(r.moves),
-               metrics::TableEmitter::num(worst_tail, 2)});
-   }
+               std::to_string(cell.file_sets),
+               std::to_string(cell.partitions),
+               metrics::TableEmitter::num(cell.run_mean_ms, 2),
+               std::to_string(cell.moves),
+               metrics::TableEmitter::num(cell.worst_tail_ms, 2)});
   }
   std::cout << "# expected: with the threshold scaled to the cluster size,\n"
                "# converged balance does not degrade with n; replicated\n"

@@ -14,7 +14,7 @@
 #include "metrics/summary.h"
 #include "workload/synthetic.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace anufs;
   const workload::Workload work =
       workload::make_synthetic(workload::SyntheticConfig{});
@@ -25,20 +25,25 @@ int main() {
       "Table J: whole-run per-request latency percentiles, cluster-wide "
       "(synthetic workload)");
 
-  for (const char* name :
-       {"round-robin", "prescient", "anu"}) {
-    cluster::ClusterConfig cc = bench::paper_cluster();
-    cc.record_latency_samples = true;
-    const std::unique_ptr<policy::PlacementPolicy> pol =
-        bench::make_policy(name, cc, work, /*stationary_prescient=*/true);
-    cluster::ClusterSim sim(cc, work, *pol);
-    const cluster::RunResult r = sim.run();
-    std::vector<double> all;
-    for (const auto& [id, samples] : r.latency_samples) {
-      all.insert(all.end(), samples.begin(), samples.end());
-    }
-    const metrics::Summary s = metrics::summarize(std::move(all));
-    table.row({name, metrics::TableEmitter::num(s.median * 1e3, 2),
+  const std::vector<const char*> names = {"round-robin", "prescient", "anu"};
+  const std::vector<metrics::Summary> summaries = bench::collect_parallel(
+      names.size(), bench::bench_jobs_from_args(argc, argv),
+      [&](std::size_t i) {
+        cluster::ClusterConfig cc = bench::paper_cluster();
+        cc.record_latency_samples = true;
+        const std::unique_ptr<policy::PlacementPolicy> pol = bench::make_policy(
+            names[i], cc, work, /*stationary_prescient=*/true);
+        cluster::ClusterSim sim(cc, work, *pol);
+        const cluster::RunResult r = sim.run();
+        std::vector<double> all;
+        for (const auto& [id, samples] : r.latency_samples) {
+          all.insert(all.end(), samples.begin(), samples.end());
+        }
+        return metrics::summarize(std::move(all));
+      });
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const metrics::Summary& s = summaries[i];
+    table.row({names[i], metrics::TableEmitter::num(s.median * 1e3, 2),
                metrics::TableEmitter::num(s.p95 * 1e3, 2),
                metrics::TableEmitter::num(s.p99 * 1e3, 2),
                metrics::TableEmitter::num(s.max * 1e3, 0)});

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI-style gate: build the normal config AND the ASan/UBSan config, run
+# the full test suite under both. The sanitizer config is what keeps the
+# hash::from_double float->int overflow (and friends) from regressing:
+# the UBSan build traps on any out-of-range float->int conversion.
+#
+#   ./scripts/check.sh          # both configs
+#   ./scripts/check.sh default  # just the normal config
+#   ./scripts/check.sh sanitize # just the sanitizer config
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+JOBS="${ANUFS_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+PRESETS=("${@:-default}")
+if [ $# -eq 0 ]; then
+  PRESETS=(default sanitize)
+fi
+
+for preset in "${PRESETS[@]}"; do
+  echo "== configure: $preset"
+  cmake --preset "$preset"
+  echo "== build: $preset"
+  cmake --build --preset "$preset" -j "$JOBS"
+  echo "== test: $preset"
+  ctest --preset "$preset" -j "$JOBS"
+done
+
+echo "check.sh: all configs green"

@@ -387,6 +387,7 @@ RunResult ClusterSim::run() {
     result_.san_wasted_idle = san_.wasted_idle();
     result_.san_mean_end_to_end = san_.mean_end_to_end();
   }
+  result_.engine = sched_.stats();
   return std::move(result_);
 }
 

@@ -117,6 +117,8 @@ struct RunResult {
   double san_busy = 0.0;         ///< seconds with >=1 transfer in flight
   double san_wasted_idle = 0.0;  ///< idle-while-clients-blocked seconds
   double san_mean_end_to_end = 0.0;  ///< metadata + transfer, seconds
+  /// Event-engine counters for the run (throughput reporting).
+  sim::Scheduler::Stats engine;
 };
 
 class ClusterSim {

@@ -1,0 +1,107 @@
+#include "driver/parallel_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <string>
+
+#include "common/check.h"
+#include "metrics/emit.h"
+#include "metrics/summary.h"
+#include "sim/thread_pool.h"
+
+namespace anufs::driver {
+
+namespace {
+
+double worst_tail_ms(const cluster::RunResult& r) {
+  double worst = 0.0;
+  for (const std::string& label : r.latency_ms.labels()) {
+    worst = std::max(worst, r.latency_ms.at(label).tail_mean(0.5));
+  }
+  return worst;
+}
+
+}  // namespace
+
+std::vector<ScenarioConfig> expand_sweep(const ScenarioConfig& config) {
+  std::vector<ScenarioConfig> runs;
+  if (!config.is_sweep()) {
+    runs.push_back(config);
+    runs.back().jobs = 1;
+    return runs;
+  }
+  ANUFS_EXPECTS(config.sweep_begin >= 1 &&
+                config.sweep_begin <= config.sweep_end);
+  runs.reserve(config.sweep_end - config.sweep_begin + 1);
+  for (std::uint64_t seed = config.sweep_begin; seed <= config.sweep_end;
+       ++seed) {
+    ScenarioConfig run = config;
+    run.jobs = 1;
+    run.sweep_begin = run.sweep_end = 0;
+    run.seed = seed;
+    run.cluster.seed = seed;
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+std::vector<cluster::RunResult> run_parallel(
+    const std::vector<ScenarioConfig>& configs, std::size_t jobs) {
+  std::vector<cluster::RunResult> results(configs.size());
+  // Each index writes only its own slot; run_scenario_quiet shares
+  // nothing between calls, so any interleaving yields the same results.
+  sim::parallel_for(configs.size(), jobs, [&](std::size_t i) {
+    results[i] = run_scenario_quiet(configs[i]);
+  });
+  return results;
+}
+
+std::vector<cluster::RunResult> run_sweep(const ScenarioConfig& config,
+                                          std::ostream& os) {
+  const std::vector<ScenarioConfig> runs = expand_sweep(config);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<cluster::RunResult> results = run_parallel(runs, config.jobs);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  os << "# sweep: workload=" << config.workload
+     << " policy=" << config.policy << " seeds=[" << config.sweep_begin
+     << ".." << config.sweep_end << "] jobs=" << config.jobs << "\n";
+  metrics::TableEmitter table(
+      os, {"seed", "run_mean_ms", "worst_tail_ms", "completed", "moves"});
+  table.header("per-seed results");
+  std::vector<double> means_ms, tails_ms;
+  std::uint64_t events = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const cluster::RunResult& r = results[i];
+    const double mean_ms = r.mean_latency * 1e3;
+    const double tail_ms = worst_tail_ms(r);
+    means_ms.push_back(mean_ms);
+    tails_ms.push_back(tail_ms);
+    events += r.engine.fired;
+    table.row({std::to_string(runs[i].seed),
+               metrics::TableEmitter::num(mean_ms, 3),
+               metrics::TableEmitter::num(tail_ms, 3),
+               std::to_string(r.completed), std::to_string(r.moves)});
+  }
+  const metrics::Summary mean_summary = metrics::summarize(means_ms);
+  const metrics::Summary tail_summary = metrics::summarize(tails_ms);
+  os << "run_mean_ms " << metrics::TableEmitter::num(mean_summary.mean, 3)
+     << " +/- " << metrics::TableEmitter::num(mean_summary.stddev, 3)
+     << " over " << results.size() << " seeds\n";
+  os << "worst_tail_ms " << metrics::TableEmitter::num(tail_summary.mean, 3)
+     << " +/- " << metrics::TableEmitter::num(tail_summary.stddev, 3)
+     << "\n";
+  os << "engine " << events << " events in "
+     << metrics::TableEmitter::num(wall, 2) << " s wall ("
+     << metrics::TableEmitter::num(wall > 0 ? static_cast<double>(events) /
+                                                  wall / 1e6
+                                            : 0.0,
+                                   2)
+     << " M events/s)\n";
+  return results;
+}
+
+}  // namespace anufs::driver

@@ -1,0 +1,38 @@
+// Parallel experiment runner: executes independent (policy, seed,
+// scenario) simulations concurrently on a sim::ThreadPool.
+//
+// Isolation rule: every run constructs its OWN workload, policy,
+// Scheduler, RNG streams, and ClusterSim (see run_scenario_quiet), so
+// no state is shared between concurrent runs and a parallel sweep is
+// bit-identical to the same sweep executed serially with jobs=1.
+// Results are returned in input order regardless of completion order.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "driver/scenario.h"
+
+namespace anufs::driver {
+
+/// Expand a sweep config into one concrete per-seed scenario. For a
+/// non-sweep config, returns the config itself as a single run. Each
+/// expanded config has jobs/sweep cleared (it IS one run) and both the
+/// workload seed and the cluster seed set to the sweep seed.
+[[nodiscard]] std::vector<ScenarioConfig> expand_sweep(
+    const ScenarioConfig& config);
+
+/// Run every config, up to `jobs` at a time. results[i] corresponds to
+/// configs[i]. jobs <= 1 is the serial reference execution.
+[[nodiscard]] std::vector<cluster::RunResult> run_parallel(
+    const std::vector<ScenarioConfig>& configs, std::size_t jobs);
+
+/// Sweep driver behind `anufs_sim`: expands `config`, runs the seeds on
+/// `config.jobs` workers, prints a per-seed table plus mean +/- stddev
+/// aggregates and engine throughput to `os`. Returns the per-seed
+/// results in seed order.
+std::vector<cluster::RunResult> run_sweep(const ScenarioConfig& config,
+                                          std::ostream& os);
+
+}  // namespace anufs::driver

@@ -53,6 +53,27 @@ bool parse_on_off(const std::string& v, std::size_t line_no) {
   config_failure(line_no, "expected on|off, got '" + v + "'");
 }
 
+// "seed=A..B" (inclusive, A <= B, A >= 1).
+void parse_sweep(const std::string& spec, ScenarioConfig& config,
+                 std::size_t line_no) {
+  const auto eq = spec.find('=');
+  const auto dots = spec.find("..");
+  if (eq == std::string::npos || dots == std::string::npos || dots < eq ||
+      spec.substr(0, eq) != "seed") {
+    config_failure(line_no, "expected sweep seed=A..B, got '" + spec + "'");
+  }
+  const std::string lo = spec.substr(eq + 1, dots - eq - 1);
+  const std::string hi = spec.substr(dots + 2);
+  if (lo.empty() || hi.empty()) {
+    config_failure(line_no, "expected sweep seed=A..B, got '" + spec + "'");
+  }
+  config.sweep_begin = std::stoull(lo);
+  config.sweep_end = std::stoull(hi);
+  if (config.sweep_begin == 0 || config.sweep_end < config.sweep_begin) {
+    config_failure(line_no, "sweep range must satisfy 1 <= A <= B");
+  }
+}
+
 workload::Workload build_workload(const ScenarioConfig& c) {
   if (c.workload == "synthetic") {
     workload::SyntheticConfig wc;
@@ -225,6 +246,11 @@ ScenarioConfig parse_scenario(std::istream& is) {
       } else if (v != "summary") {
         config_failure(line_no, "expected series|summary");
       }
+    } else if (key == "jobs") {
+      config.jobs = static_cast<std::size_t>(std::stoul(want("count")));
+      if (config.jobs == 0) config_failure(line_no, "jobs must be >= 1");
+    } else if (key == "sweep") {
+      parse_sweep(want("seed=A..B"), config, line_no);
     } else {
       config_failure(line_no, "unknown key '" + key + "'");
     }
@@ -237,11 +263,14 @@ ScenarioConfig parse_scenario_text(const std::string& text) {
   return parse_scenario(is);
 }
 
-cluster::RunResult run_scenario(const ScenarioConfig& config,
-                                std::ostream& os) {
+namespace {
+
+cluster::RunResult run_built(const ScenarioConfig& config,
+                             std::string* policy_name) {
   const workload::Workload work = build_workload(config);
   const std::unique_ptr<policy::PlacementPolicy> pol =
       build_policy(config, work);
+  if (policy_name != nullptr) *policy_name = pol->name();
   cluster::ClusterSim sim(config.cluster, work, *pol);
   for (const MembershipEvent& e : config.events) {
     switch (e.kind) {
@@ -256,13 +285,25 @@ cluster::RunResult run_scenario(const ScenarioConfig& config,
         break;
     }
   }
-  cluster::RunResult result = sim.run();
+  return sim.run();
+}
+
+}  // namespace
+
+cluster::RunResult run_scenario_quiet(const ScenarioConfig& config) {
+  return run_built(config, nullptr);
+}
+
+cluster::RunResult run_scenario(const ScenarioConfig& config,
+                                std::ostream& os) {
+  std::string policy_name;
+  cluster::RunResult result = run_built(config, &policy_name);
 
   os << "# scenario: workload=" << config.workload
-     << " policy=" << pol->name() << " servers="
+     << " policy=" << policy_name << " servers="
      << config.cluster.server_speeds.size() << "\n";
   if (config.emit_series) {
-    metrics::emit_bundle(os, pol->name() + " per-server mean latency (ms)",
+    metrics::emit_bundle(os, policy_name + " per-server mean latency (ms)",
                          result.latency_ms);
   }
   os << "requests " << result.completed << "/" << result.total_requests

@@ -25,6 +25,8 @@
 //   recover <time> <server>
 //   add <time> <server> <speed>
 //   emit series|summary        # output form (default summary)
+//   jobs 4                     # worker threads for sweeps (default 1)
+//   sweep seed=1..10           # run once per seed in 1..10 (inclusive)
 #pragma once
 
 #include <cstdint>
@@ -61,6 +63,13 @@ struct ScenarioConfig {
   bool pairwise = false;
   std::vector<MembershipEvent> events;
   bool emit_series = false;
+  // Parallel sweep surface (see driver/parallel_runner.h). jobs is the
+  // worker-thread count; a sweep runs the scenario once per seed in
+  // [sweep_begin, sweep_end]. sweep_end == 0 means "no sweep".
+  std::size_t jobs = 1;
+  std::uint64_t sweep_begin = 0;
+  std::uint64_t sweep_end = 0;
+  [[nodiscard]] bool is_sweep() const noexcept { return sweep_end != 0; }
 };
 
 /// Parse a scenario; aborts with a line diagnostic on malformed input.
@@ -73,5 +82,12 @@ struct ScenarioConfig {
 /// result for programmatic use.
 cluster::RunResult run_scenario(const ScenarioConfig& config,
                                 std::ostream& os);
+
+/// Build everything and run without printing. This is the thread-safe
+/// entry point the parallel runner uses: every call constructs its own
+/// workload, policy, scheduler, and ClusterSim, so concurrent calls on
+/// distinct configs never share state.
+[[nodiscard]] cluster::RunResult run_scenario_quiet(
+    const ScenarioConfig& config);
 
 }  // namespace anufs::driver

@@ -27,8 +27,18 @@ inline constexpr Measure kHalfInterval = std::uint64_t{1} << 63;
   return static_cast<double>(m) * 0x1.0p-64;
 }
 
+/// The largest representable point/length: one ulp (2^-64) below 1.0.
+inline constexpr Measure kMaxMeasure = ~Measure{0};
+
 /// Convert a fraction in [0,1) to fixed point, for configuration input.
+/// Out-of-range input is clamped to the representable range rather than
+/// hitting the undefined float->int conversion: negatives (and NaN) map
+/// to 0, anything >= 1.0 maps to kMaxMeasure. For f in [0,1) the product
+/// f * 2^64 is exact (scaling by a power of two), so the cast is always
+/// in range and the round trip through to_double loses nothing.
 [[nodiscard]] constexpr Measure from_double(double f) {
+  if (!(f > 0.0)) return 0;  // negatives, -0.0, and NaN
+  if (f >= 1.0) return kMaxMeasure;
   return static_cast<Measure>(f * 0x1.0p64);
 }
 

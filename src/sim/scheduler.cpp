@@ -4,45 +4,71 @@
 
 namespace anufs::sim {
 
+namespace {
+// Below this many tombstones a compaction pass costs more than it frees.
+constexpr std::size_t kCompactionFloor = 64;
+}  // namespace
+
 EventId Scheduler::schedule_at(SimTime at, Handler fn) {
   ANUFS_EXPECTS(at >= now_);
   ANUFS_EXPECTS(fn != nullptr);
   const std::uint64_t seq = next_seq_++;
   const EventId id{seq};
-  heap_.push(Entry{at, seq, id});
+  heap_.push_back(Entry{at, seq, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   handlers_.emplace(seq, std::move(fn));
+  stats_.peak_pending = std::max(stats_.peak_pending, pending());
   return id;
 }
 
 bool Scheduler::cancel(EventId id) {
   auto it = handlers_.find(id.value);
   if (it == handlers_.end()) return false;
+  // Eager reclaim: the handler and whatever it captured die here, not
+  // when the tombstone eventually surfaces (which may be never if the
+  // run stops early or the calendar is abandoned).
   handlers_.erase(it);
   cancelled_.insert(id.value);
+  ++stats_.cancelled;
+  maybe_compact();
   return true;
+}
+
+void Scheduler::maybe_compact() {
+  if (cancelled_.size() < kCompactionFloor) return;
+  if (cancelled_.size() * 2 < heap_.size()) return;
+  std::erase_if(heap_, [this](const Entry& e) {
+    return cancelled_.contains(e.id.value);
+  });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  cancelled_.clear();
+  heap_.shrink_to_fit();
+  ++stats_.compactions;
 }
 
 bool Scheduler::skip_cancelled() {
   while (!heap_.empty()) {
-    auto c = cancelled_.find(heap_.top().id.value);
+    auto c = cancelled_.find(heap_.front().id.value);
     if (c == cancelled_.end()) return true;
     cancelled_.erase(c);
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
   return false;
 }
 
 bool Scheduler::step() {
   if (!skip_cancelled()) return false;
-  const Entry top = heap_.top();
-  heap_.pop();
+  const Entry top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
   ANUFS_ENSURES(top.time >= now_);
   now_ = top.time;
   auto it = handlers_.find(top.id.value);
   ANUFS_ENSURES(it != handlers_.end());
   Handler fn = std::move(it->second);
   handlers_.erase(it);
-  ++fired_;
+  ++stats_.fired;
   fn();
   return true;
 }
@@ -54,7 +80,7 @@ void Scheduler::run() {
 
 void Scheduler::run_until(SimTime horizon) {
   ANUFS_EXPECTS(horizon >= now_);
-  while (skip_cancelled() && heap_.top().time <= horizon) {
+  while (skip_cancelled() && heap_.front().time <= horizon) {
     step();
   }
   now_ = horizon;

@@ -6,9 +6,9 @@
 // heap internals.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -32,11 +32,27 @@ struct EventId {
 ///   sched.run();                      // until the calendar drains
 ///
 /// Handlers may schedule further events (including at the current time) and
-/// may cancel pending ones. Cancellation is lazy: the heap entry stays until
-/// it reaches the top, then is skipped.
+/// may cancel pending ones. cancel() reclaims the handler (and everything
+/// it captured) immediately; the heap entry itself is a tombstone skipped
+/// lazily, and the heap is compacted whenever tombstones come to dominate
+/// it, so cancel-heavy workloads stay O(live events) in memory even when
+/// the cancelled entries never surface at the top.
+///
+/// A Scheduler is confined to one thread. Concurrent simulations each own
+/// their own Scheduler (see sim::ThreadPool and driver/parallel_runner).
 class Scheduler {
  public:
   using Handler = std::function<void()>;
+
+  /// Engine counters, cheap enough to maintain unconditionally. Exposed
+  /// so bench binaries can report throughput (events/sec) and tests can
+  /// observe reclamation.
+  struct Stats {
+    std::uint64_t fired = 0;       ///< handlers actually run
+    std::uint64_t cancelled = 0;   ///< events cancelled before firing
+    std::uint64_t compactions = 0; ///< tombstone-purge passes over the heap
+    std::size_t peak_pending = 0;  ///< high-water mark of pending()
+  };
 
   /// Current simulated time. Starts at kTimeZero; advances only while
   /// events run.
@@ -50,7 +66,9 @@ class Scheduler {
   [[nodiscard]] bool empty() const noexcept { return pending() == 0; }
 
   /// Total events fired so far (useful for progress accounting and tests).
-  [[nodiscard]] std::uint64_t fired() const noexcept { return fired_; }
+  [[nodiscard]] std::uint64_t fired() const noexcept { return stats_.fired; }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
   /// Schedule `fn` at absolute simulated time `at` (>= now()).
   EventId schedule_at(SimTime at, Handler fn);
@@ -62,7 +80,8 @@ class Scheduler {
   }
 
   /// Cancel a pending event. Returns false if the event already fired or
-  /// was already cancelled.
+  /// was already cancelled. The handler — and any state it captured — is
+  /// released before this returns.
   bool cancel(EventId id);
 
   /// Run events until the calendar is empty.
@@ -70,7 +89,8 @@ class Scheduler {
 
   /// Run events with time <= horizon, then advance the clock to exactly
   /// `horizon` (even if no event lies there). Events scheduled at `horizon`
-  /// itself do fire.
+  /// itself do fire, including ones scheduled by handlers firing at the
+  /// horizon.
   void run_until(SimTime horizon);
 
   /// Fire exactly one event, if any. Returns false when the calendar is
@@ -92,11 +112,17 @@ class Scheduler {
 
   // Pops cancelled entries off the heap top; returns false if drained.
   bool skip_cancelled();
+  // Purges tombstones from the whole heap once they dominate it. (time,
+  // seq) is a strict total order, so rebuilding the heap cannot change
+  // the firing order — determinism is preserved across compaction.
+  void maybe_compact();
 
   SimTime now_ = kTimeZero;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t fired_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  Stats stats_;
+  // Binary heap managed with std::push_heap/pop_heap (rather than
+  // std::priority_queue) so maybe_compact() can rebuild it in place.
+  std::vector<Entry> heap_;
   std::unordered_set<std::uint64_t> cancelled_;
   // Handlers stored separately so Entry stays trivially copyable.
   std::unordered_map<std::uint64_t, Handler> handlers_;

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace anufs::sim {
@@ -163,6 +164,130 @@ TEST(Scheduler, CancelFromWithinHandler) {
   sched.schedule_at(1.0, [&] { sched.cancel(late); });
   sched.run();
   EXPECT_FALSE(late_fired);
+}
+
+TEST(Scheduler, CancelReclaimsHandlerStateImmediately) {
+  // The handler (and everything it captured) must die inside cancel(),
+  // not when the tombstone eventually surfaces at the heap top — which
+  // is never if the calendar is abandoned or run_until stops early.
+  Scheduler sched;
+  auto payload = std::make_shared<int>(7);
+  const EventId id = sched.schedule_at(1.0, [payload] { (void)*payload; });
+  EXPECT_EQ(payload.use_count(), 2);
+  EXPECT_TRUE(sched.cancel(id));
+  EXPECT_EQ(payload.use_count(), 1);  // released without running anything
+}
+
+TEST(Scheduler, CancelHeavyWorkloadCompactsHeap) {
+  Scheduler sched;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 2000; ++i) {
+    ids.push_back(sched.schedule_at(1.0 + i, [] {}));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    if (i % 4 != 0) EXPECT_TRUE(sched.cancel(ids[static_cast<size_t>(i)]));
+  }
+  EXPECT_EQ(sched.pending(), 500u);
+  EXPECT_GE(sched.stats().compactions, 1u);
+  EXPECT_EQ(sched.stats().cancelled, 1500u);
+  sched.run();
+  EXPECT_EQ(sched.fired(), 500u);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(Scheduler, StatsTrackFiredCancelledPeak) {
+  Scheduler sched;
+  const EventId a = sched.schedule_at(1.0, [] {});
+  sched.schedule_at(2.0, [] {});
+  sched.schedule_at(3.0, [] {});
+  EXPECT_EQ(sched.stats().peak_pending, 3u);
+  sched.cancel(a);
+  sched.run();
+  EXPECT_EQ(sched.stats().fired, 2u);
+  EXPECT_EQ(sched.stats().cancelled, 1u);
+  EXPECT_EQ(sched.stats().peak_pending, 3u);
+}
+
+TEST(Scheduler, SameTimeOrderSurvivesCompaction) {
+  // Interleave survivors and cancellations at one instant; the purge
+  // rebuilds the heap, which must not perturb the (time, seq) order.
+  Scheduler sched;
+  std::vector<int> order;
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 200; ++i) {
+    sched.schedule_at(1.0, [&order, i] { order.push_back(i); });
+    doomed.push_back(sched.schedule_at(1.0, [] {}));
+  }
+  for (const EventId id : doomed) EXPECT_TRUE(sched.cancel(id));
+  EXPECT_GE(sched.stats().compactions, 1u);
+  sched.run();
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, RunUntilHorizonBoundaryAfterCompaction) {
+  Scheduler sched;
+  std::vector<int> fired;
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 100; ++i) {
+    doomed.push_back(sched.schedule_at(0.5, [] {}));
+  }
+  sched.schedule_at(2.0, [&] { fired.push_back(1); });
+  sched.schedule_at(2.0, [&] { fired.push_back(2); });
+  const EventId past = sched.schedule_at(2.5, [&] { fired.push_back(99); });
+  for (const EventId id : doomed) EXPECT_TRUE(sched.cancel(id));
+  EXPECT_GE(sched.stats().compactions, 1u);
+  sched.run_until(2.0);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));  // horizon events fire in order
+  EXPECT_EQ(sched.now(), 2.0);
+  EXPECT_EQ(sched.pending(), 1u);
+  EXPECT_TRUE(sched.cancel(past));
+}
+
+TEST(Scheduler, RunUntilFiresHandlerScheduledAtHorizonByHorizonHandler) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(2.0, [&] {
+    order.push_back(1);
+    sched.schedule_at(2.0, [&] { order.push_back(2); });
+  });
+  sched.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, AbandonedCalendarReleasesCancelledState) {
+  // Cancel everything, never run: pending() must report empty and the
+  // cancelled ids must have been reclaimed by compaction (not retained
+  // until a drain that never happens).
+  Scheduler sched;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(sched.schedule_at(1.0 + i, [] {}));
+  }
+  for (const EventId id : ids) EXPECT_TRUE(sched.cancel(id));
+  EXPECT_TRUE(sched.empty());
+  EXPECT_EQ(sched.pending(), 0u);
+  EXPECT_GE(sched.stats().compactions, 1u);
+  sched.run();
+  EXPECT_EQ(sched.fired(), 0u);
+}
+
+TEST(Scheduler, DeterministicOrderWithCancellationAndCompaction) {
+  const auto run_once = [] {
+    Scheduler sched;
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 600; ++i) {
+      ids.push_back(sched.schedule_at((i * 7919) % 100,
+                                      [&order, i] { order.push_back(i); }));
+    }
+    for (int i = 0; i < 600; i += 3) {
+      sched.cancel(ids[static_cast<size_t>(i)]);
+    }
+    sched.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
 }
 
 TEST(Scheduler, ManyEventsDeterministicOrder) {

@@ -1,0 +1,71 @@
+// Regression tests for the fixed-point unit-interval conversions —
+// in particular that hash::from_double clamps out-of-range input
+// instead of hitting the undefined float->uint64 conversion (caught by
+// the UBSan build if the clamp regresses).
+#include "hash/unit_interval.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace anufs::hash {
+namespace {
+
+// Runtime (not constant-folded) values so the sanitizer build actually
+// instruments the conversion in from_double.
+double runtime(double v) {
+  static volatile double sink;
+  sink = v;
+  return sink;
+}
+
+TEST(UnitInterval, FromDoubleRoundTripsInRange) {
+  for (const double f :
+       {0.0, 0.125, 0.25, 1.0 / 3.0, 0.5, 0.75, 0.9999, 0x1.fffffffffffffp-1}) {
+    EXPECT_NEAR(to_double(from_double(runtime(f))), f, 1e-15) << f;
+  }
+}
+
+TEST(UnitInterval, FromDoubleIsExactForDyadicFractions) {
+  EXPECT_EQ(from_double(runtime(0.5)), kHalfInterval);
+  EXPECT_EQ(from_double(runtime(0.25)), kHalfInterval >> 1);
+  EXPECT_EQ(from_double(runtime(0.0)), Measure{0});
+}
+
+TEST(UnitInterval, FromDoubleClampsAtOne) {
+  // f >= 1.0 is unrepresentable (the interval is [0,1)); it used to be
+  // undefined behaviour in the cast. Now it clamps to the top point.
+  EXPECT_EQ(from_double(runtime(1.0)), kMaxMeasure);
+  EXPECT_EQ(from_double(runtime(1.5)), kMaxMeasure);
+  EXPECT_EQ(from_double(runtime(1e30)), kMaxMeasure);
+  EXPECT_EQ(from_double(runtime(std::numeric_limits<double>::infinity())),
+            kMaxMeasure);
+}
+
+TEST(UnitInterval, FromDoubleJustBelowOneStaysBelowTop) {
+  const double below = std::nextafter(1.0, 0.0);
+  const Measure m = from_double(runtime(below));
+  EXPECT_LT(m, kMaxMeasure);          // no silent saturation for valid input
+  EXPECT_EQ(m, kMaxMeasure - 0x7FF);  // (1 - 2^-53) * 2^64 == 2^64 - 2^11
+}
+
+TEST(UnitInterval, FromDoubleRejectsNegativesAndNan) {
+  EXPECT_EQ(from_double(runtime(-0.5)), Measure{0});
+  EXPECT_EQ(from_double(runtime(-0.0)), Measure{0});
+  EXPECT_EQ(from_double(runtime(-1e30)), Measure{0});
+  EXPECT_EQ(from_double(runtime(-std::numeric_limits<double>::infinity())),
+            Measure{0});
+  EXPECT_EQ(from_double(runtime(std::numeric_limits<double>::quiet_NaN())),
+            Measure{0});
+}
+
+TEST(UnitInterval, ClampedTopRoundTripsThroughDouble) {
+  // to_double(kMaxMeasure) rounds to exactly 1.0, which clamps back to
+  // kMaxMeasure — the round trip is stable at the top of the interval.
+  EXPECT_EQ(from_double(runtime(to_double(kMaxMeasure))), kMaxMeasure);
+}
+
+}  // namespace
+}  // namespace anufs::hash

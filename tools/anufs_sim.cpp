@@ -1,15 +1,25 @@
 // anufs_sim: run a simulation scenario from a config file.
 //
 //   ./anufs_sim scenario.conf
-//   ./anufs_sim -            # read the config from stdin
-//   ./anufs_sim --example    # print a commented example config
+//   ./anufs_sim -                          # read the config from stdin
+//   ./anufs_sim --example                  # print a commented example
+//   ./anufs_sim --jobs 4 --sweep seed=1..10 scenario.conf
+//                                          # 10 seeds on 4 worker threads
+//
+// --jobs and --sweep override the corresponding config keys. A sweep
+// runs the scenario once per seed and reports per-seed rows plus
+// mean +/- stddev aggregates; results are independent of --jobs (each
+// run owns its own scheduler and RNG streams).
 //
 // See src/driver/scenario.h for the config reference.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <string>
 
+#include "driver/parallel_runner.h"
 #include "driver/scenario.h"
 
 namespace {
@@ -32,31 +42,70 @@ fail 1200 4               # membership script
 recover 2400 4
 add 3600 5 9.0
 emit summary              # summary | series
+# jobs 4                  # worker threads for sweeps
+# sweep seed=1..10        # run once per seed, aggregate mean +/- stddev
 )";
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--jobs N] [--sweep seed=A..B] "
+               "<scenario.conf | - | --example>\n",
+               argv0);
+  std::exit(2);
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <scenario.conf | - | --example>\n",
-                 argv[0]);
-    return 2;
+  std::size_t jobs_override = 0;
+  std::string sweep_override;
+  const char* input = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--example") == 0) {
+      std::fputs(kExample, stdout);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (++i >= argc) usage(argv[0]);
+      jobs_override = static_cast<std::size_t>(std::strtoul(
+          argv[i], nullptr, 10));
+      if (jobs_override == 0) usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--sweep") == 0) {
+      if (++i >= argc) usage(argv[0]);
+      sweep_override = argv[i];
+    } else if (input == nullptr) {
+      input = argv[i];
+    } else {
+      usage(argv[0]);
+    }
   }
-  if (std::strcmp(argv[1], "--example") == 0) {
-    std::fputs(kExample, stdout);
-    return 0;
-  }
+  if (input == nullptr) usage(argv[0]);
+
   anufs::driver::ScenarioConfig config;
-  if (std::strcmp(argv[1], "-") == 0) {
+  if (std::strcmp(input, "-") == 0) {
     config = anufs::driver::parse_scenario(std::cin);
   } else {
-    std::ifstream in(argv[1]);
+    std::ifstream in(input);
     if (!in.good()) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", input);
       return 2;
     }
     config = anufs::driver::parse_scenario(in);
   }
-  (void)anufs::driver::run_scenario(config, std::cout);
+  if (!sweep_override.empty()) {
+    // Reuse the config parser so the flag and the config key accept
+    // exactly the same syntax (and share diagnostics).
+    const anufs::driver::ScenarioConfig sweep_config =
+        anufs::driver::parse_scenario_text("sweep " + sweep_override + "\n");
+    config.sweep_begin = sweep_config.sweep_begin;
+    config.sweep_end = sweep_config.sweep_end;
+  }
+  if (jobs_override > 0) config.jobs = jobs_override;
+
+  if (config.is_sweep()) {
+    (void)anufs::driver::run_sweep(config, std::cout);
+  } else {
+    (void)anufs::driver::run_scenario(config, std::cout);
+  }
   return 0;
 }
