@@ -1,30 +1,42 @@
 #!/usr/bin/env bash
-# CI-style gate: build the normal config AND the ASan/UBSan config, run
-# the full test suite under both. The sanitizer config is what keeps the
-# hash::from_double float->int overflow (and friends) from regressing:
-# the UBSan build traps on any out-of-range float->int conversion.
+# CI-style gate: build + full test suite under every config, then the
+# static-analysis pass.
 #
-#   ./scripts/check.sh          # both configs
-#   ./scripts/check.sh default  # just the normal config
-#   ./scripts/check.sh sanitize # just the sanitizer config
+#   default   RelWithDebInfo — the reference build
+#   sanitize  ASan + UBSan — guards e.g. the hash::from_double
+#             float->int overflow clamp
+#   tsan      ThreadSanitizer — guards the run-level parallelism
+#             (sim/thread_pool, driver/parallel_runner, bench --jobs);
+#             any cross-run data race fails the suite
+#   lint      clang-tidy over src/ tools/ bench/ tests/ (skips when
+#             clang-tidy is not installed)
+#
+#   ./scripts/check.sh                # all of the above
+#   ./scripts/check.sh default        # one preset
+#   ./scripts/check.sh tsan lint      # any subset, in order
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
 JOBS="${ANUFS_JOBS:-$(nproc 2>/dev/null || echo 2)}"
-PRESETS=("${@:-default}")
+STAGES=("$@")
 if [ $# -eq 0 ]; then
-  PRESETS=(default sanitize)
+  STAGES=(default sanitize tsan lint)
 fi
 
-for preset in "${PRESETS[@]}"; do
-  echo "== configure: $preset"
-  cmake --preset "$preset"
-  echo "== build: $preset"
-  cmake --build --preset "$preset" -j "$JOBS"
-  echo "== test: $preset"
-  ctest --preset "$preset" -j "$JOBS"
+for stage in "${STAGES[@]}"; do
+  if [ "$stage" = lint ]; then
+    echo "== lint"
+    ./scripts/lint.sh
+    continue
+  fi
+  echo "== configure: $stage"
+  cmake --preset "$stage"
+  echo "== build: $stage"
+  cmake --build --preset "$stage" -j "$JOBS"
+  echo "== test: $stage"
+  ctest --preset "$stage" -j "$JOBS"
 done
 
-echo "check.sh: all configs green"
+echo "check.sh: all stages green"

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# clang-format wrapper (style in .clang-format, which matches the
+# existing hand-written layout: Google base, 80 columns, left-aligned
+# pointers/references).
+#
+#   ./scripts/format.sh --check file.cpp ...  # diff-exit-nonzero, no edits
+#   ./scripts/format.sh file.cpp ...          # format in place
+#   ./scripts/format.sh --check               # check every tracked source
+#
+# Policy: no mass reformat — run --check on the files a change touches.
+# Skips (exit 0) when clang-format is not installed.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+CHECK=0
+FILES=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --check) CHECK=1; shift ;;
+    *) FILES+=("$1"); shift ;;
+  esac
+done
+
+FMT="${ANUFS_CLANG_FORMAT:-clang-format}"
+if ! command -v "$FMT" >/dev/null 2>&1; then
+  echo "format.sh: $FMT not found; skipping format check" >&2
+  exit 0
+fi
+
+if [ ${#FILES[@]} -eq 0 ]; then
+  mapfile -t FILES < <(find src tools bench tests examples \
+    \( -name '*.cpp' -o -name '*.h' \) | sort)
+fi
+
+if [ "$CHECK" -eq 1 ]; then
+  "$FMT" --dry-run --Werror "${FILES[@]}"
+  echo "format.sh: ${#FILES[@]} files clean"
+else
+  "$FMT" -i "${FILES[@]}"
+  echo "format.sh: formatted ${#FILES[@]} files"
+fi

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "core/invariant_auditor.h"
 #include "hash/unit_interval.h"
 
 namespace anufs::core {
@@ -67,6 +68,7 @@ AnuSystem::AnuSystem(AnuConfig config, const std::vector<ServerId>& initial)
   regions.rebalance_to(targets);
   ANUFS_ENSURES(regions.total_share() == kHalfInterval);
   check_invariants();
+  detail::maybe_audit(*this);
 }
 
 TuneDecision AnuSystem::reconfigure(const std::vector<ServerReport>& reports) {
@@ -80,6 +82,7 @@ TuneDecision AnuSystem::reconfigure(const std::vector<ServerReport>& reports) {
     ++version_;
   }
   check_invariants();
+  detail::maybe_audit(*this);
   return decision;
 }
 
@@ -111,6 +114,7 @@ void AnuSystem::fail_server(ServerId id) {
   restore_half_occupancy();
   ++version_;
   check_invariants();
+  detail::maybe_audit(*this);
 }
 
 void AnuSystem::add_server(ServerId id) {
@@ -146,6 +150,7 @@ void AnuSystem::add_server(ServerId id) {
   ANUFS_ENSURES(regions.total_share() == kHalfInterval);
   ++version_;
   check_invariants();
+  detail::maybe_audit(*this);
 }
 
 }  // namespace anufs::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/invariant_auditor.h"
+
 namespace anufs::core {
 
 RegionMap::RegionMap(std::uint32_t n_partitions) : space_(n_partitions) {
@@ -10,9 +12,9 @@ RegionMap::RegionMap(std::uint32_t n_partitions) : space_(n_partitions) {
 }
 
 void RegionMap::add_server(ServerId id) {
-  const auto [it, inserted] = servers_.emplace(id, ServerRegions{});
+  const bool inserted = servers_.emplace(id, ServerRegions{}).second;
   ANUFS_EXPECTS(inserted);
-  (void)it;
+  detail::maybe_audit(*this);
 }
 
 void RegionMap::remove_server(ServerId id) {
@@ -23,6 +25,7 @@ void RegionMap::remove_server(ServerId id) {
   if (sr.partial) release_partition(*sr.partial);
   total_ -= sr.share;
   servers_.erase(it);
+  detail::maybe_audit(*this);
 }
 
 std::vector<ServerId> RegionMap::server_ids() const {
@@ -74,8 +77,7 @@ void RegionMap::grow(ServerId id, ServerRegions& sr, Measure delta) {
   if (delta > 0) claim_free(id, sr, delta);
 }
 
-void RegionMap::shrink(ServerId id, ServerRegions& sr, Measure delta) {
-  (void)id;
+void RegionMap::shrink(ServerRegions& sr, Measure delta) {
   const Measure ps = part_size();
   // 1. Trim the partial partition first (it is the region's "top").
   if (delta > 0 && sr.partial) {
@@ -118,10 +120,11 @@ void RegionMap::resize(ServerId id, Measure target) {
     total_ += delta;
   } else if (target < sr.share) {
     const Measure delta = sr.share - target;
-    shrink(id, sr, delta);
+    shrink(sr, delta);
     total_ -= delta;
   }
   sr.share = target;
+  detail::maybe_audit(*this);
 }
 
 void RegionMap::rebalance_to(
@@ -137,6 +140,7 @@ void RegionMap::rebalance_to(
     if (target > share(id)) resize(id, target);
   }
   ANUFS_ENSURES(total_ <= hash::kHalfInterval);
+  detail::maybe_audit(*this);
 }
 
 void RegionMap::repartition_double() {
@@ -172,6 +176,7 @@ void RegionMap::repartition_double() {
       sr.partial = p;
     }
   }
+  detail::maybe_audit(*this);
 }
 
 std::optional<ServerId> RegionMap::owner_at(Pos x) const {
@@ -244,6 +249,7 @@ RegionMap RegionMap::restore(std::uint32_t n_partitions,
     map.total_ += rec.fill;
   }
   map.check_invariants();
+  detail::maybe_audit(map);
   return map;
 }
 

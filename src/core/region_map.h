@@ -152,7 +152,7 @@ class RegionMap {
   }
 
   void grow(ServerId id, ServerRegions& sr, Measure delta);
-  void shrink(ServerId id, ServerRegions& sr, Measure delta);
+  void shrink(ServerRegions& sr, Measure delta);
   // Claim the lowest-numbered free partition for `id` with `fill` measure.
   void claim_free(ServerId id, ServerRegions& sr, Measure fill);
   void release_partition(std::uint32_t p);

@@ -21,8 +21,7 @@ void AnuPolicy::initialize(
 }
 
 std::vector<Move> AnuPolicy::rebalance(
-    sim::SimTime now, const std::vector<core::ServerReport>& reports) {
-  (void)now;
+    sim::SimTime /*now*/, const std::vector<core::ServerReport>& reports) {
   const core::TuneDecision decision = system_->reconfigure(reports);
   if (!decision.acted) return {};
   return apply_assignment(derive_assignment());

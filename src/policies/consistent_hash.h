@@ -38,10 +38,8 @@ class ConsistentHashPolicy final : public AssignmentPolicyBase {
                   const std::vector<ServerId>& servers) override;
 
   std::vector<Move> rebalance(
-      sim::SimTime now,
-      const std::vector<core::ServerReport>& reports) override {
-    (void)now;
-    (void)reports;
+      sim::SimTime /*now*/,
+      const std::vector<core::ServerReport>& /*reports*/) override {
     return {};  // static
   }
 

@@ -268,8 +268,9 @@ void PrescientPolicy::initialize(
 }
 
 std::vector<Move> PrescientPolicy::rebalance(
-    sim::SimTime now, const std::vector<core::ServerReport>& reports) {
-  (void)reports;  // prescience, not measurement
+    sim::SimTime now,
+    const std::vector<core::ServerReport>& /*reports*/) {
+  // Reports are ignored by design: prescience, not measurement.
   if (config_.mode == PrescientConfig::Mode::kStationary) return {};
   const WindowLoad load =
       window_load(now, std::min(now + config_.period, duration_));

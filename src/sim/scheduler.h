@@ -47,6 +47,14 @@ class Scheduler {
   /// Engine counters, cheap enough to maintain unconditionally. Exposed
   /// so bench binaries can report throughput (events/sec) and tests can
   /// observe reclamation.
+  ///
+  /// Thread ownership: the counters are plain fields mutated by the
+  /// scheduler's owning thread on every fired/cancelled event — they are
+  /// NOT atomics. stats() therefore returns a by-value snapshot, and
+  /// both it and the fields themselves may only be read from the thread
+  /// that runs the scheduler (for a parallel sweep: inside the run, or
+  /// after the run's task has completed and the pool has joined — the
+  /// pattern parallel_runner uses when it copies stats into RunResult).
   struct Stats {
     std::uint64_t fired = 0;       ///< handlers actually run
     std::uint64_t cancelled = 0;   ///< events cancelled before firing
@@ -68,7 +76,11 @@ class Scheduler {
   /// Total events fired so far (useful for progress accounting and tests).
   [[nodiscard]] std::uint64_t fired() const noexcept { return stats_.fired; }
 
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Consistent snapshot of the counters (see Stats for thread rules):
+  /// returning by value means a caller holding the result can never
+  /// observe a half-updated struct if it outlives this Scheduler or
+  /// hands the snapshot to another thread.
+  [[nodiscard]] Stats stats() const noexcept { return stats_; }
 
   /// Schedule `fn` at absolute simulated time `at` (>= now()).
   EventId schedule_at(SimTime at, Handler fn);

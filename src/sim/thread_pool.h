@@ -24,7 +24,11 @@ namespace anufs::sim {
 /// reports failure via contract aborts, not exceptions).
 class ThreadPool {
  public:
-  /// Spawns `threads` workers (at least 1).
+  /// Spawns `threads` workers. `threads == 0` clamps to 1 rather than
+  /// constructing a pool that can never run anything (submit would
+  /// enqueue forever and wait_idle would deadlock) — so a failed
+  /// hardware_concurrency probe or a `--jobs 0` passed straight through
+  /// is safe by construction.
   explicit ThreadPool(std::size_t threads);
 
   /// Joins all workers; pending tasks are still drained first.

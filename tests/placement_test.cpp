@@ -85,6 +85,30 @@ TEST(Placement, FallbackStillResolvesToAliveServer) {
   }
 }
 
+TEST(Placement, RehashExhaustionAlwaysFallsBackDirect) {
+  // Degenerate coverage: every server registered but NOTHING mapped, so
+  // all R re-hash rounds miss and every lookup takes the
+  // direct-to-server path after exactly R probes plus the fallback
+  // hash. This is the R-round exhaustion edge the invariant auditor
+  // formalizes (probability 2^-R in normal operation, certainty here).
+  PlacementConfig config;
+  config.max_rounds = 3;
+  PlacementMap map = PlacementMap::for_servers(config, 4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    map.regions().add_server(ServerId{i});
+  }
+  sim::Xoshiro256 rng{77};
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t fp = rng();
+    const LocateResult r = map.locate(fp);
+    EXPECT_TRUE(r.fallback);
+    EXPECT_EQ(r.probes, config.max_rounds + 1);  // R misses + direct hash
+    EXPECT_TRUE(map.regions().has_server(r.server));
+    // Deterministic: the direct hash does not depend on probe history.
+    EXPECT_EQ(map.locate(fp).server, r.server);
+  }
+}
+
 TEST(Placement, NonFallbackPositionOwnedByServer) {
   const PlacementMap map = make_map(5);
   sim::Xoshiro256 rng{35};

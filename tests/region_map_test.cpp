@@ -251,6 +251,59 @@ TEST(RegionMap, RepartitionTwicePreservesOwners) {
   EXPECT_EQ(map.share(ServerId{2}), share2);
 }
 
+TEST(RegionMap, AddRemoveAtExactHalfOccupancyBoundary) {
+  // Membership churn while the map sits at EXACTLY 1/2: the states the
+  // invariant auditor formalizes. Adding a server at the boundary must
+  // not disturb the mapped half; removing one must release exactly its
+  // measure; and restoring the boundary must land on 1/2 to the ulp.
+  RegionMap map = make_five_server_map();
+  ASSERT_EQ(map.total_share(), kHalfInterval);
+
+  // A newcomer registers with zero share: boundary unchanged.
+  map.add_server(ServerId{5});
+  EXPECT_EQ(map.total_share(), kHalfInterval);
+  map.check_invariants();
+
+  // Remove a survivor: exactly its share leaves the mapped half.
+  const Measure departing = map.share(ServerId{2});
+  map.remove_server(ServerId{2});
+  EXPECT_EQ(map.total_share(), kHalfInterval - departing);
+  map.check_invariants();
+
+  // Re-grow the newcomer to precisely the departed measure: boundary
+  // restored exactly, and the paper's free-partition guarantee holds.
+  map.resize(ServerId{5}, departing);
+  EXPECT_EQ(map.total_share(), kHalfInterval);
+  EXPECT_GE(map.free_partition_count(), 1u);
+  map.check_invariants();
+}
+
+TEST(RegionMap, ResizeOneUlpAroundPartitionBoundary) {
+  // Crossing a partition-size multiple by one ulp in each direction
+  // exercises the partial<->full transitions the one-partial rule
+  // constrains: at an exact multiple there is no partial partition; one
+  // ulp either side there is exactly one.
+  RegionMap map(16);
+  map.add_server(ServerId{0});
+  const Measure ps = map.space().partition_size();
+
+  map.resize(ServerId{0}, 2 * ps);  // exact multiple: no partial
+  EXPECT_EQ(map.segments(ServerId{0}).size(), 1u);
+  map.check_invariants();
+
+  map.resize(ServerId{0}, 2 * ps + 1);  // one ulp over: a 1-ulp partial
+  EXPECT_EQ(map.share(ServerId{0}), 2 * ps + 1);
+  map.check_invariants();
+
+  map.resize(ServerId{0}, 2 * ps - 1);  // one ulp under the multiple
+  EXPECT_EQ(map.share(ServerId{0}), 2 * ps - 1);
+  map.check_invariants();
+
+  map.resize(ServerId{0}, 2 * ps);  // back to the exact boundary
+  EXPECT_EQ(map.share(ServerId{0}), 2 * ps);
+  map.check_invariants();
+}
+
 // Parameterized fuzz: random sequences of add/remove/resize/repartition
 // keep all invariants intact; run under several seeds.
 class RegionMapFuzz : public ::testing::TestWithParam<std::uint64_t> {};

@@ -6,7 +6,8 @@
 //   ./anufs_sim --jobs 4 --sweep seed=1..10 scenario.conf
 //                                          # 10 seeds on 4 worker threads
 //
-// --jobs and --sweep override the corresponding config keys. A sweep
+// --jobs and --sweep override the corresponding config keys; --jobs 0
+// means "auto" (one worker per hardware thread). A sweep
 // runs the scenario once per seed and reports per-seed rows plus
 // mean +/- stddev aggregates; results are independent of --jobs (each
 // run owns its own scheduler and RNG streams).
@@ -21,6 +22,7 @@
 
 #include "driver/parallel_runner.h"
 #include "driver/scenario.h"
+#include "sim/thread_pool.h"
 
 namespace {
 
@@ -57,6 +59,7 @@ emit summary              # summary | series
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool jobs_set = false;
   std::size_t jobs_override = 0;
   std::string sweep_override;
   const char* input = nullptr;
@@ -67,9 +70,14 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--jobs") == 0) {
       if (++i >= argc) usage(argv[0]);
-      jobs_override = static_cast<std::size_t>(std::strtoul(
-          argv[i], nullptr, 10));
-      if (jobs_override == 0) usage(argv[0]);
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(argv[i], &end, 10);
+      if (end == argv[i] || *end != '\0') usage(argv[0]);
+      // --jobs 0 = "auto": size to the hardware (and a failed probe
+      // still yields 1 worker — never a zero-thread pool).
+      jobs_set = true;
+      jobs_override = n == 0 ? anufs::sim::ThreadPool::hardware_jobs()
+                             : static_cast<std::size_t>(n);
     } else if (std::strcmp(argv[i], "--sweep") == 0) {
       if (++i >= argc) usage(argv[0]);
       sweep_override = argv[i];
@@ -100,7 +108,7 @@ int main(int argc, char** argv) {
     config.sweep_begin = sweep_config.sweep_begin;
     config.sweep_end = sweep_config.sweep_end;
   }
-  if (jobs_override > 0) config.jobs = jobs_override;
+  if (jobs_set) config.jobs = jobs_override;
 
   if (config.is_sweep()) {
     (void)anufs::driver::run_sweep(config, std::cout);
