@@ -11,6 +11,13 @@
 #   lint      clang-tidy over src/ tools/ bench/ tests/ (skips when
 #             clang-tidy is not installed)
 #
+# Tests carry ctest labels (unit | property | golden | stress; see
+# tests/CMakeLists.txt). default and sanitize run every label; the tsan
+# preset excludes `golden` (byte-exact output diffs add nothing to a
+# race hunt and TSan slows the replays ~10x) while keeping unit,
+# property, and stress — the fault property suite must stay race-clean
+# and bit-identical under TSan too.
+#
 #   ./scripts/check.sh                # all of the above
 #   ./scripts/check.sh default        # one preset
 #   ./scripts/check.sh tsan lint      # any subset, in order

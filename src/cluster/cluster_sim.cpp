@@ -133,6 +133,10 @@ void ClusterSim::arrive(std::size_t index) {
       } else if (node(stale->second.first).alive()) {
         ++result_.forwarded;
         forwarded = true;
+        // The request is now "between servers": if the forwarder
+        // crashes while it queues, or the hop lands past the horizon,
+        // the ledger still accounts for it (in_transit_at_end).
+        ++in_transit_;
         const FileSetId fs = r.file_set;
         const double demand = r.demand;
         const sim::SimTime arrival = r.time;
@@ -142,6 +146,7 @@ void ClusterSim::arrive(std::size_t index) {
                           sched_.schedule_in(
                               config_.routing.forward_hop,
                               [this, fs, demand, arrival, index] {
+                                --in_transit_;
                                 deliver(fs, demand, arrival, index);
                               });
                         });
@@ -218,6 +223,7 @@ void ClusterSim::apply_moves(const std::vector<policy::Move>& moves,
                              bool crash_induced) {
   result_.moves += moves.size();
   result_.moves_timeline.emplace_back(sched_.now(), moves.size());
+  if (crash_induced) result_.crash_moves += moves.size();
   if (config_.routing.model_staleness) {
     const sim::SimTime until =
         sched_.now() + config_.routing.distribution_delay;
@@ -236,11 +242,27 @@ void ClusterSim::apply_moves(const std::vector<policy::Move>& moves,
         (void)backing_->acquire_cost(m.file_set);
       }
     }
+    if (crash_induced && !moves.empty()) {
+      // Instant moves: the victim's sets are re-owned the moment the
+      // failure is declared.
+      result_.recoveries.push_back(
+          RecoveryEpisode{sched_.now(), sched_.now(), moves.size()});
+    }
     return;
   }
+  sim::SimTime last_ready = sched_.now();
   for (const policy::Move& m : moves) {
     movement_.on_move(m.file_set);
     double transit = movement_.sample_init();
+    // Flaky-transfer injection: each failed attempt wastes a backoff
+    // plus a fresh init before the set comes up at the new owner.
+    const std::uint32_t failures = movement_.sample_move_failures();
+    if (failures > 0) {
+      result_.move_failures += failures;
+      for (std::uint32_t attempt = 0; attempt < failures; ++attempt) {
+        transit += movement_.fault_backoff() + movement_.sample_init();
+      }
+    }
     if (!crash_induced) {
       transit += movement_.sample_flush();
       // The shedding server spends a little CPU driving the flush.
@@ -256,12 +278,22 @@ void ClusterSim::apply_moves(const std::vector<policy::Move>& moves,
     if (backing_ != nullptr) {
       acquire_stall += backing_->acquire_cost(m.file_set);
     }
-    node(m.to).stall(acquire_stall);
+    // The acquirer may be silently dead (crashed but not yet declared by
+    // the detector): membership still lists it, so a concurrent
+    // recovery/addition can pick it as a target. No CPU to stall then —
+    // its requests are lost until the failure is declared and the set is
+    // re-homed again.
+    if (node(m.to).alive()) node(m.to).stall(acquire_stall);
     const sim::SimTime ready = sched_.now() + transit;
+    last_ready = std::max(last_ready, ready);
     auto& until = unavailable_until_[m.file_set];
     until = std::max(until, ready);
     sched_.schedule_at(ready,
                        [this, fs = m.file_set] { drain_held(fs); });
+  }
+  if (crash_induced && !moves.empty()) {
+    result_.recoveries.push_back(
+        RecoveryEpisode{sched_.now(), last_ready, moves.size()});
   }
 }
 
@@ -373,10 +405,18 @@ RunResult ClusterSim::run() {
     result_.mean_latency += n.latency_sum();
     result_.server_completed[id.value] = n.completed();
     result_.server_busy[id.value] = n.busy_time();
+    result_.queued_at_end += n.in_flight();
     if (config_.record_latency_samples) {
       result_.latency_samples[id.value] = n.latency_samples();
     }
   }
+  // Close the conservation ledger: every request the workload issued is
+  // completed, lost, queued, held behind a move, or mid-forward. The
+  // fault property tests assert this sum for every random plan.
+  for (const auto& [fs, pending] : held_) {
+    result_.held_at_end += pending.size();
+  }
+  result_.in_transit_at_end = in_transit_;
   result_.mean_latency = result_.completed == 0
                              ? 0.0
                              : result_.mean_latency /

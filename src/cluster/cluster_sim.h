@@ -92,6 +92,18 @@ struct ClusterConfig {
   std::uint64_t seed = 42;
 };
 
+/// One crash-induced re-homing episode: from the instant the failure
+/// was DECLARED (detector timeout or instant declaration) to the moment
+/// the last displaced file set became available at its new owner.
+struct RecoveryEpisode {
+  double declared_at = 0.0;   ///< when the membership change was applied
+  double completed_at = 0.0;  ///< when the last moved set became servable
+  std::uint64_t moves = 0;    ///< file sets re-homed by this episode
+  [[nodiscard]] double span() const noexcept {
+    return completed_at - declared_at;
+  }
+};
+
 struct RunResult {
   /// Per-server mean latency (milliseconds) sampled once per period —
   /// the series plotted in Figures 6-11. Labels: "server0", "server1"...
@@ -105,6 +117,21 @@ struct RunResult {
   std::uint64_t fenced = 0;  ///< live servers expelled by missed reports
   /// (time, moves) at each reconfiguration/membership event.
   std::vector<std::pair<double, std::uint64_t>> moves_timeline;
+  /// Moves forced by declared failures (subset of `moves`).
+  std::uint64_t crash_moves = 0;
+  /// Failed file-set transfer attempts injected by a MoveFaultSpec.
+  std::uint64_t move_failures = 0;
+  /// One entry per declared failure that displaced at least one file
+  /// set — the raw material of the recovery-time experiment (Table K).
+  std::vector<RecoveryEpisode> recoveries;
+  /// End-of-run conservation ledger. Together with completed and lost:
+  ///   total_requests == completed + lost + queued_at_end + held_at_end
+  ///                     + in_transit_at_end
+  /// — the "no request is silently dropped" property the fault tests
+  /// assert for every random plan.
+  std::uint64_t queued_at_end = 0;      ///< in a live server's queue
+  std::uint64_t held_at_end = 0;        ///< awaiting a file set in motion
+  std::uint64_t in_transit_at_end = 0;  ///< forwarding hop never landed
   /// Completed-request mean latency over the whole run, seconds.
   double mean_latency = 0.0;
   /// Whole-run per-server stats, keyed by ServerId value.
@@ -141,6 +168,25 @@ class ClusterSim {
 
   /// Commission a brand-new server (fresh id) with the given speed.
   void schedule_addition(sim::SimTime t, ServerId id, double speed);
+
+  // ---- fault-injection hooks (driven by fault::install_fault_plan) ----
+  // All four are plain state changes on the simulator; the fault layer
+  // schedules them through scheduler() so they interleave with regular
+  // events deterministically.
+
+  /// Scale a server's commissioned speed ("limping"); 1.0 restores it.
+  void set_speed_factor(ServerId id, double factor) {
+    node(id).set_speed_factor(factor);
+  }
+
+  /// Stretch SAN transfers started from now on; 1.0 restores.
+  void set_san_slowdown(double factor) { san_.set_slowdown(factor); }
+
+  /// Enter/leave a flaky file-set-transfer window (see MoveFaultSpec).
+  void set_move_fault(const MoveFaultSpec& spec) {
+    movement_.set_fault(spec);
+  }
+  void clear_move_fault() { movement_.clear_fault(); }
 
   /// Executing-server mode: attach a TypedBacking BEFORE run(). Request
   /// demands then come from executing each request's typed operation,
@@ -198,6 +244,9 @@ class ClusterSim {
   core::ReportCollector collector_;
   sim::Xoshiro256 net_rng_;
   RunResult result_;
+  // Requests currently between servers (forward hop in flight): part of
+  // the conservation ledger surfaced as RunResult::in_transit_at_end.
+  std::uint64_t in_transit_ = 0;
   bool ran_ = false;
 };
 

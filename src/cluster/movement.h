@@ -25,6 +25,17 @@
 
 namespace anufs::cluster {
 
+/// Fault injection: while active, each file-set transfer attempt fails
+/// with `probability`; a failed attempt costs `backoff` seconds plus a
+/// fresh init attempt before the set becomes available. At most
+/// `max_retries` failures per move, so transfers always complete
+/// eventually (liveness is never faulted away, only delayed).
+struct MoveFaultSpec {
+  double probability = 0.0;
+  std::uint32_t max_retries = 3;
+  double backoff = 2.0;
+};
+
 struct MovementConfig {
   double flush_min = 2.0;   ///< seconds, releasing side
   double flush_max = 5.0;
@@ -88,10 +99,43 @@ class MovementModel {
     return cold_remaining_.size();
   }
 
+  // ---- fault injection (flaky transfers) --------------------------------
+
+  /// Enter a flaky-transfer window. Replaces any active spec.
+  void set_fault(const MoveFaultSpec& spec) {
+    ANUFS_EXPECTS(spec.probability >= 0.0 && spec.probability <= 1.0);
+    ANUFS_EXPECTS(spec.backoff >= 0.0);
+    fault_ = spec;
+    fault_active_ = true;
+  }
+
+  void clear_fault() { fault_active_ = false; }
+
+  [[nodiscard]] bool fault_active() const noexcept { return fault_active_; }
+
+  [[nodiscard]] double fault_backoff() const noexcept {
+    return fault_.backoff;
+  }
+
+  /// Failed attempts before the next move succeeds: geometric in the
+  /// fault probability, capped at max_retries. 0 outside fault windows
+  /// (no RNG draw, so an unused window leaves every sequence intact).
+  [[nodiscard]] std::uint32_t sample_move_failures() {
+    if (!fault_active_ || fault_.probability <= 0.0) return 0;
+    std::uint32_t failures = 0;
+    while (failures < fault_.max_retries &&
+           rng_.next_double() < fault_.probability) {
+      ++failures;
+    }
+    return failures;
+  }
+
  private:
   MovementConfig config_;
   sim::Xoshiro256 rng_;
   std::unordered_map<FileSetId, std::uint32_t> cold_remaining_;
+  MoveFaultSpec fault_;
+  bool fault_active_ = false;
 };
 
 }  // namespace anufs::cluster

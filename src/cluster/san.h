@@ -45,7 +45,8 @@ class SanModel {
   }
 
   /// The metadata completed after `metadata_latency`; the client starts
-  /// its SAN transfer of `transfer_duration` seconds.
+  /// its SAN transfer of `transfer_duration` seconds (stretched by the
+  /// current degradation factor — see set_slowdown).
   void on_metadata_done(sim::SimDuration metadata_latency,
                         sim::SimDuration transfer_duration) {
     ANUFS_EXPECTS(blocked_ > 0);
@@ -54,13 +55,25 @@ class SanModel {
     --blocked_;
     ++active_;
     ++accesses_;
-    end_to_end_total_ += metadata_latency + transfer_duration;
-    sched_.schedule_in(transfer_duration, [this] {
+    const sim::SimDuration effective = transfer_duration * slowdown_;
+    end_to_end_total_ += metadata_latency + effective;
+    sched_.schedule_in(effective, [this] {
       advance();
       ANUFS_ENSURES(active_ > 0);
       --active_;
     });
   }
+
+  /// Fault injection: transfers started from now on take `factor` times
+  /// as long (SAN congestion / degraded-array window; 1.0 restores full
+  /// bandwidth). Applied at transfer start so it never consumes extra
+  /// RNG draws — a degraded window perturbs durations, not sequences.
+  void set_slowdown(double factor) {
+    ANUFS_EXPECTS(factor > 0.0);
+    slowdown_ = factor;
+  }
+
+  [[nodiscard]] double slowdown() const noexcept { return slowdown_; }
 
   /// A blocked client's request was dropped (server crash): unblock
   /// without a transfer.
@@ -106,6 +119,7 @@ class SanModel {
 
  private:
   sim::Scheduler& sched_;
+  double slowdown_ = 1.0;
   std::uint32_t blocked_ = 0;
   std::uint32_t active_ = 0;
   sim::SimTime last_change_ = 0.0;

@@ -20,11 +20,20 @@ class ServerNode {
       std::function<void(FileSetId, const sim::JobCompletion&)>;
 
   ServerNode(sim::Scheduler& sched, ServerId id, double speed)
-      : id_(id), fifo_(sched, speed) {}
+      : id_(id), base_speed_(speed), fifo_(sched, speed) {}
 
   [[nodiscard]] ServerId id() const noexcept { return id_; }
   [[nodiscard]] double speed() const noexcept { return fifo_.speed(); }
   [[nodiscard]] bool alive() const noexcept { return alive_; }
+
+  /// Fault injection: scale the commissioned speed by `factor` (a
+  /// "limping" episode; 1.0 restores full speed). Takes effect when the
+  /// next job starts service. Legal while crashed — the factor simply
+  /// persists across recovery, like a degraded disk would.
+  void set_speed_factor(double factor) {
+    ANUFS_EXPECTS(factor > 0.0);
+    fifo_.set_speed(base_speed_ * factor);
+  }
 
   /// Observer invoked on every request completion (e.g. to start the
   /// client's SAN transfer once its metadata is served).
@@ -44,6 +53,7 @@ class ServerNode {
   void submit(FileSetId fs, double demand,
               std::optional<sim::SimTime> arrival = std::nullopt) {
     ANUFS_EXPECTS(alive_);
+    ++submitted_;
     fifo_.submit(demand, fs.value, [this, fs](const sim::JobCompletion& c) {
       const sim::SimDuration lat = c.latency();
       interval_.record(lat);
@@ -65,6 +75,7 @@ class ServerNode {
   void submit_deferred(FileSetId fs, sim::FifoServer::DemandFn demand_fn,
                        std::optional<sim::SimTime> arrival = std::nullopt) {
     ANUFS_EXPECTS(alive_);
+    ++submitted_;
     fifo_.submit_deferred(
         std::move(demand_fn), fs.value,
         [this, fs](const sim::JobCompletion& c) {
@@ -95,7 +106,9 @@ class ServerNode {
     ANUFS_EXPECTS(alive_);
     alive_ = false;
     interval_ = {};
-    return fifo_.reset();
+    const std::size_t dropped = fifo_.reset();
+    lost_ += dropped;
+    return dropped;
   }
 
   /// Rejoin with an empty queue (shared disk preserved the data).
@@ -114,15 +127,25 @@ class ServerNode {
     return fifo_.queue_length();
   }
 
+  /// Requests accepted but neither completed nor lost to a crash —
+  /// queued or in service right now. Part of the simulator's
+  /// conservation ledger: submitted == completed + lost + in_flight.
+  [[nodiscard]] std::uint64_t in_flight() const noexcept {
+    return submitted_ - completed_ - lost_;
+  }
+
  private:
   ServerId id_;
+  double base_speed_;
   sim::FifoServer fifo_;
   sim::IntervalAccumulator interval_;
   CompletionHook hook_;
   std::vector<double> samples_;
   bool record_samples_ = false;
   bool alive_ = true;
+  std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t lost_ = 0;
   double latency_sum_ = 0.0;
 };
 

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "fault/fault_injector.h"
 #include "metrics/emit.h"
 #include "policies/anu_policy.h"
 #include "policies/consistent_hash.h"
@@ -138,6 +139,11 @@ std::unique_ptr<policy::PlacementPolicy> build_policy(
       caps[ServerId{e.server}] = e.speed;
     }
   }
+  // Fault-plan additions commission servers too: capacity-aware
+  // policies need their speeds known up front.
+  for (const fault::AddEvent& e : c.faults.additions) {
+    caps[ServerId{e.server}] = e.speed;
+  }
   if (c.policy == "prescient") {
     policy::PrescientConfig pc;
     pc.speeds = caps;
@@ -239,6 +245,33 @@ ScenarioConfig parse_scenario(std::istream& is) {
       e.server = static_cast<std::uint32_t>(std::stoul(want("server")));
       e.speed = std::stod(want("speed"));
       config.events.push_back(e);
+    } else if (key == "faults") {
+      const fault::FaultPlan loaded = fault::load_fault_plan(want("path"));
+      // Merge so `faults` and inline `fault` lines compose.
+      config.faults.crashes.insert(config.faults.crashes.end(),
+                                   loaded.crashes.begin(),
+                                   loaded.crashes.end());
+      config.faults.recoveries.insert(config.faults.recoveries.end(),
+                                      loaded.recoveries.begin(),
+                                      loaded.recoveries.end());
+      config.faults.additions.insert(config.faults.additions.end(),
+                                     loaded.additions.begin(),
+                                     loaded.additions.end());
+      config.faults.limps.insert(config.faults.limps.end(),
+                                 loaded.limps.begin(), loaded.limps.end());
+      config.faults.san_slowdowns.insert(config.faults.san_slowdowns.end(),
+                                         loaded.san_slowdowns.begin(),
+                                         loaded.san_slowdowns.end());
+      config.faults.flaky_moves.insert(config.faults.flaky_moves.end(),
+                                       loaded.flaky_moves.begin(),
+                                       loaded.flaky_moves.end());
+    } else if (key == "fault") {
+      std::string directive;
+      std::getline(ss, directive);
+      if (directive.find_first_not_of(" \t") == std::string::npos) {
+        config_failure(line_no, "missing fault directive");
+      }
+      fault::parse_fault_directive(directive, config.faults);
     } else if (key == "emit") {
       const std::string v = want("series|summary");
       if (v == "series") {
@@ -285,6 +318,12 @@ cluster::RunResult run_built(const ScenarioConfig& config,
         break;
     }
   }
+  if (!config.faults.empty()) {
+    fault::install_fault_plan(
+        sim,
+        static_cast<std::uint32_t>(config.cluster.server_speeds.size()),
+        config.faults);
+  }
   return sim.run();
 }
 
@@ -310,6 +349,18 @@ cluster::RunResult run_scenario(const ScenarioConfig& config,
      << " completed, " << result.lost << " lost\n";
   os << "moves " << result.moves << ", forwarded " << result.forwarded
      << "\n";
+  if (!config.faults.empty()) {
+    os << "faults " << config.faults.event_count() << " events, crash-moves "
+       << result.crash_moves << ", move-failures " << result.move_failures
+       << ", unresolved " << result.queued_at_end << "+"
+       << result.held_at_end << "+" << result.in_transit_at_end
+       << " (queued+held+in-transit)\n";
+    for (const cluster::RecoveryEpisode& r : result.recoveries) {
+      os << "  recovery at " << r.declared_at << " s: " << r.moves
+         << " sets re-homed in " << metrics::TableEmitter::num(r.span())
+         << " s\n";
+    }
+  }
   os << "run-mean latency " << result.mean_latency * 1e3 << " ms\n";
   for (const std::string& label : result.latency_ms.labels()) {
     os << "  " << label << " steady-state mean "

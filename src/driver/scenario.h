@@ -24,9 +24,16 @@
 //   fail <time> <server>       # membership script
 //   recover <time> <server>
 //   add <time> <server> <speed>
+//   faults <path>              # load a fault plan file (src/fault)
+//   fault <directive...>       # one inline fault-plan directive, e.g.
+//                              #   fault limp 400 600 3 0.25
 //   emit series|summary        # output form (default summary)
 //   jobs 4                     # worker threads for sweeps (default 1)
 //   sweep seed=1..10           # run once per seed in 1..10 (inclusive)
+//
+// The `fail`/`recover`/`add` membership script and the fault plan both
+// inject membership churn; they compose, but a server they both touch
+// must follow the usual alive/crashed alternation or the run aborts.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +42,7 @@
 #include <vector>
 
 #include "cluster/cluster_sim.h"
+#include "fault/fault_plan.h"
 
 namespace anufs::driver {
 
@@ -62,6 +70,10 @@ struct ScenarioConfig {
   bool median_average = false;
   bool pairwise = false;
   std::vector<MembershipEvent> events;
+  /// Deterministic fault-injection schedule (crashes, limping servers,
+  /// SAN degradation, flaky moves); replayed through the scheduler by
+  /// fault::install_fault_plan before the run starts.
+  fault::FaultPlan faults;
   bool emit_series = false;
   // Parallel sweep surface (see driver/parallel_runner.h). jobs is the
   // worker-thread count; a sweep runs the scenario once per seed in

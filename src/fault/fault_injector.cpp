@@ -1,0 +1,71 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+
+namespace anufs::fault {
+
+namespace {
+
+template <typename Event>
+std::vector<Event> sorted_by_time(std::vector<Event> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.time < b.time;
+                   });
+  return events;
+}
+
+template <typename Window>
+std::vector<Window> sorted_by_begin(std::vector<Window> windows) {
+  std::stable_sort(windows.begin(), windows.end(),
+                   [](const Window& a, const Window& b) {
+                     return a.begin < b.begin;
+                   });
+  return windows;
+}
+
+}  // namespace
+
+void install_fault_plan(cluster::ClusterSim& sim,
+                        std::uint32_t n_initial_servers,
+                        const FaultPlan& plan) {
+  validate_or_die(plan, n_initial_servers);
+  sim::Scheduler& sched = sim.scheduler();
+
+  // Membership: recoveries and additions before crashes so that a
+  // same-instant recover+crash pair on one server means "bounced", the
+  // order validate() assumes.
+  for (const RecoverEvent& e : sorted_by_time(plan.recoveries)) {
+    sim.schedule_recovery(e.time, ServerId{e.server});
+  }
+  for (const AddEvent& e : sorted_by_time(plan.additions)) {
+    sim.schedule_addition(e.time, ServerId{e.server}, e.speed);
+  }
+  for (const CrashEvent& e : sorted_by_time(plan.crashes)) {
+    sim.schedule_failure(e.time, ServerId{e.server});
+  }
+
+  // Windows: begin/end pairs installed in start order, so a window
+  // ending exactly where the next begins closes before the next opens.
+  for (const LimpWindow& w : sorted_by_begin(plan.limps)) {
+    sched.schedule_at(w.begin, [&sim, w] {
+      sim.set_speed_factor(ServerId{w.server}, w.factor);
+    });
+    sched.schedule_at(w.end, [&sim, w] {
+      sim.set_speed_factor(ServerId{w.server}, 1.0);
+    });
+  }
+  for (const SanSlowWindow& w : sorted_by_begin(plan.san_slowdowns)) {
+    sched.schedule_at(w.begin, [&sim, w] { sim.set_san_slowdown(w.factor); });
+    sched.schedule_at(w.end, [&sim] { sim.set_san_slowdown(1.0); });
+  }
+  for (const MoveFlakyWindow& w : sorted_by_begin(plan.flaky_moves)) {
+    sched.schedule_at(w.begin, [&sim, w] {
+      sim.set_move_fault(cluster::MoveFaultSpec{
+          w.probability, w.max_retries, w.backoff});
+    });
+    sched.schedule_at(w.end, [&sim] { sim.clear_move_fault(); });
+  }
+}
+
+}  // namespace anufs::fault

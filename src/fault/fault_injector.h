@@ -1,0 +1,30 @@
+// Replays a FaultPlan against a ClusterSim.
+//
+// Every fault is installed as an ordinary scheduler event BEFORE the
+// run starts, so injected faults interleave with workload arrivals,
+// reconfigurations, and movement completions under the scheduler's
+// (time, insertion-sequence) total order. That makes a faulted run
+// exactly as deterministic as a fault-free one: same seed, same plan,
+// same results — bit-identical at any --jobs count.
+//
+// Installation order is canonical (each event group sorted by time,
+// membership recover/add before crash at equal instants, window begins
+// interleaved with ends by start time), so two textual plans with the
+// same semantics replay identically.
+#pragma once
+
+#include "cluster/cluster_sim.h"
+#include "fault/fault_plan.h"
+
+namespace anufs::fault {
+
+/// Schedule every event of `plan` on `sim`'s scheduler. Call after
+/// construction and before ClusterSim::run(). The plan is copied into
+/// the scheduled closures; `sim` must outlive the run (it does — the
+/// scheduler is owned by it). Aborts if the plan fails validate()
+/// against the simulation's initial server count.
+void install_fault_plan(cluster::ClusterSim& sim,
+                        std::uint32_t n_initial_servers,
+                        const FaultPlan& plan);
+
+}  // namespace anufs::fault

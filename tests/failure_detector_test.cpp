@@ -2,7 +2,11 @@
 // windows, request loss, and self-organizing recovery.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <vector>
+
 #include "cluster/cluster_sim.h"
+#include "core/region_map.h"
 #include "policies/anu_policy.h"
 #include "workload/synthetic.h"
 
@@ -107,6 +111,59 @@ TEST(FailureDetector, ServiceRecoversAfterDeclaration) {
   EXPECT_EQ(policy.servers().size(), 5u);
   policy.system().check_invariants();
   EXPECT_GT(r.completed + r.lost, work.request_count() * 9 / 10);
+}
+
+TEST(FailureDetector, RecoveredServerLandsInFreePartition) {
+  // The half-occupancy + P >= 2(n+1) construction guarantees a wholly
+  // free partition for a rejoining server. Snapshot the region map just
+  // before and just after the recovery and check the guarantee held:
+  // the newcomer claims free space, nobody else's mapped data is handed
+  // to it, and at most one previously-occupied (partial) partition is
+  // displaced to make its region contiguous-enough.
+  const workload::Workload work = steady_workload();
+  policy::AnuPolicy policy{core::AnuConfig{}};
+  ClusterSim sim(detected_cluster(), work, policy);
+  sim.schedule_failure(300.0, ServerId{3});
+  sim.schedule_recovery(700.0, ServerId{3});
+
+  std::vector<core::RegionMap::PartitionRecord> before;
+  std::uint32_t free_before = 0;
+  std::vector<core::RegionMap::PartitionRecord> after;
+  sim.scheduler().schedule_at(699.0, [&] {
+    const core::RegionMap& map = policy.system().regions();
+    before = map.dump();
+    free_before = map.free_partition_count();
+  });
+  sim.scheduler().schedule_at(700.5, [&] {
+    after = policy.system().regions().dump();
+  });
+  (void)sim.run();
+
+  // The guarantee's precondition: free space existed for the rejoin.
+  EXPECT_GE(free_before, 1u);
+
+  std::map<std::uint32_t, ServerId> owner_before;
+  for (const auto& rec : before) owner_before[rec.index] = rec.owner;
+
+  std::uint32_t newcomer_partitions = 0;
+  std::uint32_t newcomer_displacing = 0;  // claimed a non-free partition
+  std::uint32_t transferred = 0;          // survivor -> other survivor
+  for (const auto& rec : after) {
+    const auto it = owner_before.find(rec.index);
+    const bool was_owned = it != owner_before.end();
+    if (rec.owner == ServerId{3}) {
+      ++newcomer_partitions;
+      if (was_owned) ++newcomer_displacing;
+    } else if (was_owned && it->second != rec.owner) {
+      ++transferred;
+    }
+  }
+  // The recovered server got a region...
+  EXPECT_GE(newcomer_partitions, 1u);
+  // ...carved out of FREE partitions: at most one previously-partial
+  // partition is displaced, and no partition moves between survivors.
+  EXPECT_LE(newcomer_displacing, 1u);
+  EXPECT_EQ(transferred, 0u);
 }
 
 TEST(FailureDetector, NoFalsePositives) {

@@ -3,6 +3,7 @@
 //   ./anufs_audit scenario.conf
 //   ./anufs_audit -                  # read the config from stdin
 //   ./anufs_audit --sweep seed=1..10 scenario.conf
+//   ./anufs_audit --faults plan.flt --policies all scenario.conf
 //
 // Runs the scenario exactly as anufs_sim would (including sweeps), but
 // with ANUFS_AUDIT active: after every RegionMap/AnuSystem mutation the
@@ -12,24 +13,51 @@
 // is a machine-checked proof that every placement decision in the replay
 // respected the paper's invariants. On success prints the number of
 // audit passes performed and a one-line summary per run.
+//
+// --faults replaces the config's fault plan with the file's, and
+// --policies replays the same scenario (and plan) once per named policy
+// ("all" = every shipped policy). Only ANU-family policies drive a
+// RegionMap, so the zero-audit failure check applies to the whole batch:
+// as long as at least one replayed policy audits, static policies ride
+// along and are checked for clean completion instead.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/invariant_auditor.h"
 #include "driver/parallel_runner.h"
 #include "driver/scenario.h"
+#include "fault/fault_plan.h"
 
 namespace {
 
+constexpr const char* kAllPolicies[] = {
+    "anu",           "anu-pairwise",  "prescient",      "round-robin",
+    "simple-random", "weighted-hash", "consistent-hash"};
+
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--jobs N] [--sweep seed=A..B] "
-               "<scenario.conf | ->\n",
+               "usage: %s [--jobs N] [--sweep seed=A..B] [--faults plan] "
+               "[--policies p1,p2|all] <scenario.conf | ->\n",
                argv0);
   std::exit(2);
+}
+
+std::vector<std::string> split_policies(const std::string& spec) {
+  if (spec == "all") {
+    return {std::begin(kAllPolicies), std::end(kAllPolicies)};
+  }
+  std::vector<std::string> out;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
 }
 
 }  // namespace
@@ -37,6 +65,8 @@ namespace {
 int main(int argc, char** argv) {
   std::size_t jobs_override = 0;
   std::string sweep_override;
+  std::string faults_override;
+  std::string policies_override;
   const char* input = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0) {
@@ -46,6 +76,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--sweep") == 0) {
       if (++i >= argc) usage(argv[0]);
       sweep_override = argv[i];
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      if (++i >= argc) usage(argv[0]);
+      faults_override = argv[i];
+    } else if (std::strcmp(argv[i], "--policies") == 0) {
+      if (++i >= argc) usage(argv[0]);
+      policies_override = argv[i];
     } else if (input == nullptr) {
       input = argv[i];
     } else {
@@ -72,6 +108,15 @@ int main(int argc, char** argv) {
     config.sweep_end = sweep_config.sweep_end;
   }
   if (jobs_override > 0) config.jobs = jobs_override;
+  if (!faults_override.empty()) {
+    config.faults = anufs::fault::load_fault_plan(faults_override);
+  }
+
+  std::vector<std::string> policies = {config.policy};
+  if (!policies_override.empty()) {
+    policies = split_policies(policies_override);
+    if (policies.empty()) usage(argv[0]);
+  }
 
   // Force auditing on regardless of build type or inherited environment.
   setenv("ANUFS_AUDIT", "1", /*overwrite=*/1);
@@ -79,15 +124,22 @@ int main(int argc, char** argv) {
 
   const std::uint64_t before =
       anufs::core::InvariantAuditor::audits_performed();
-  const std::vector<anufs::driver::ScenarioConfig> runs =
-      anufs::driver::expand_sweep(config);
+  std::vector<anufs::driver::ScenarioConfig> runs;
+  for (const std::string& policy : policies) {
+    anufs::driver::ScenarioConfig per_policy = config;
+    per_policy.policy = policy;
+    const std::vector<anufs::driver::ScenarioConfig> expanded =
+        anufs::driver::expand_sweep(per_policy);
+    runs.insert(runs.end(), expanded.begin(), expanded.end());
+  }
   const std::vector<anufs::cluster::RunResult> results =
       anufs::driver::run_parallel(runs, config.jobs);
   const std::uint64_t audits =
       anufs::core::InvariantAuditor::audits_performed() - before;
 
   for (std::size_t i = 0; i < results.size(); ++i) {
-    std::printf("run %zu: seed=%llu completed=%llu moves=%llu\n", i,
+    std::printf("run %zu: policy=%s seed=%llu completed=%llu moves=%llu\n", i,
+                runs[i].policy.c_str(),
                 static_cast<unsigned long long>(runs[i].seed),
                 static_cast<unsigned long long>(results[i].completed),
                 static_cast<unsigned long long>(results[i].moves));

@@ -3,6 +3,8 @@
 //   ./anufs_sim scenario.conf
 //   ./anufs_sim -                          # read the config from stdin
 //   ./anufs_sim --example                  # print a commented example
+//   ./anufs_sim --faults plan.flt scenario.conf
+//                                          # replay a fault-injection plan
 //   ./anufs_sim --jobs 4 --sweep seed=1..10 scenario.conf
 //                                          # 10 seeds on 4 worker threads
 //
@@ -11,6 +13,11 @@
 // runs the scenario once per seed and reports per-seed rows plus
 // mean +/- stddev aggregates; results are independent of --jobs (each
 // run owns its own scheduler and RNG streams).
+//
+// --faults REPLACES any fault plan from the config with the file's
+// (crashes, recoveries, limping windows, SAN degradation, flaky moves —
+// see src/fault/fault_plan.h for the grammar). Faulted runs keep the
+// sweep reproducibility contract: bit-identical at any --jobs count.
 //
 // See src/driver/scenario.h for the config reference.
 #include <cstdio>
@@ -22,6 +29,7 @@
 
 #include "driver/parallel_runner.h"
 #include "driver/scenario.h"
+#include "fault/fault_plan.h"
 #include "sim/thread_pool.h"
 
 namespace {
@@ -43,6 +51,8 @@ movement on
 fail 1200 4               # membership script
 recover 2400 4
 add 3600 5 9.0
+# fault limp 600 900 1 0.25    # inline fault-plan directives...
+# faults plan.flt              # ...or a full plan file (--faults overrides)
 emit summary              # summary | series
 # jobs 4                  # worker threads for sweeps
 # sweep seed=1..10        # run once per seed, aggregate mean +/- stddev
@@ -50,7 +60,7 @@ emit summary              # summary | series
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--jobs N] [--sweep seed=A..B] "
+               "usage: %s [--jobs N] [--sweep seed=A..B] [--faults plan] "
                "<scenario.conf | - | --example>\n",
                argv0);
   std::exit(2);
@@ -62,6 +72,7 @@ int main(int argc, char** argv) {
   bool jobs_set = false;
   std::size_t jobs_override = 0;
   std::string sweep_override;
+  std::string faults_override;
   const char* input = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--example") == 0) {
@@ -81,6 +92,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--sweep") == 0) {
       if (++i >= argc) usage(argv[0]);
       sweep_override = argv[i];
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      if (++i >= argc) usage(argv[0]);
+      faults_override = argv[i];
     } else if (input == nullptr) {
       input = argv[i];
     } else {
@@ -109,6 +123,9 @@ int main(int argc, char** argv) {
     config.sweep_end = sweep_config.sweep_end;
   }
   if (jobs_set) config.jobs = jobs_override;
+  if (!faults_override.empty()) {
+    config.faults = anufs::fault::load_fault_plan(faults_override);
+  }
 
   if (config.is_sweep()) {
     (void)anufs::driver::run_sweep(config, std::cout);
