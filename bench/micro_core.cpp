@@ -4,12 +4,15 @@
 // delegate's retune step, and region reshaping / re-partitioning.
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/anu_system.h"
 #include "core/tuner.h"
 #include "hash/hash_family.h"
 #include "sim/random.h"
+#include "sim/scheduler.h"
 
 namespace {
 
@@ -36,6 +39,77 @@ void BM_Locate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Locate)->Arg(5)->Arg(64)->Arg(512);
+
+// A simulated run touches the same file sets over and over: the paper's
+// workloads have hundreds of file sets, not millions (the synthetic
+// workload defaults to 500). Model that with a fixed working set cycled
+// in order — the steady state of route().
+constexpr std::size_t kWorkingSet = 512;
+
+std::vector<std::uint64_t> working_set_fps() {
+  sim::Xoshiro256 rng{123};
+  std::vector<std::uint64_t> fps(kWorkingSet);
+  for (auto& fp : fps) fp = rng();
+  return fps;
+}
+
+void BM_LocateUncached(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::vector<ServerId> servers;
+  for (std::uint32_t i = 0; i < n; ++i) servers.push_back(ServerId{i});
+  const core::AnuSystem system{core::AnuConfig{}, servers};
+  const std::vector<std::uint64_t> fps = working_set_fps();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.locate_uncached(fps[i]));
+    i = (i + 1) & (kWorkingSet - 1);
+  }
+}
+BENCHMARK(BM_LocateUncached)->Arg(5)->Arg(64)->Arg(512);
+
+void BM_LocateCached(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::vector<ServerId> servers;
+  for (std::uint32_t i = 0; i < n; ++i) servers.push_back(ServerId{i});
+  const core::AnuSystem system{core::AnuConfig{}, servers};
+  const std::vector<std::uint64_t> fps = working_set_fps();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.locate(fps[i]));
+    i = (i + 1) & (kWorkingSet - 1);
+  }
+  const core::PlacementCache::Stats stats = system.cache_stats();
+  state.counters["hit_rate"] = stats.hit_rate();
+}
+BENCHMARK(BM_LocateCached)->Arg(5)->Arg(64)->Arg(512);
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  sim::Scheduler sched;
+  sched.reserve(256);
+  // Self-rescheduling tickers: every fired event schedules exactly one
+  // more, so the pool reaches steady state immediately and every
+  // schedule after warmup is served from the free list.
+  struct Ticker {
+    sim::Scheduler& sched;
+    void arm(double at) {
+      sched.schedule_at(at, [this, at] { arm(at + 1.0); });
+    }
+  };
+  Ticker ticker{sched};
+  constexpr int kBacklog = 64;
+  for (int i = 0; i < kBacklog; ++i) {
+    ticker.arm(static_cast<double>(i) / kBacklog);
+  }
+  for (auto _ : state) {
+    sched.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  const sim::Scheduler::Stats stats = sched.stats();
+  state.counters["pool_allocated"] =
+      static_cast<double>(stats.pool_allocated);
+  state.counters["pool_recycled"] = static_cast<double>(stats.pool_recycled);
+}
+BENCHMARK(BM_SchedulerThroughput);
 
 void BM_Retune(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));

@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# Recorded performance trajectory for the event engine and the request
+# hot path. Produces BENCH_core.json at the repo root: one snapshot of
+#
+#   * the core microbenchmarks (google-benchmark JSON, bench/micro_core):
+#     hash probe, cached vs uncached locate, retune, scheduler throughput
+#   * an end-to-end multi-seed sweep (tools/anufs_sim --sweep) wall clock
+#   * optionally, the same sweep on a pre-change binary for a recorded
+#     before/after speedup (--baseline-bin)
+#
+# Usage:
+#   ./scripts/bench.sh                          # measure, write BENCH_core.json
+#   ./scripts/bench.sh --out /tmp/b.json        # alternate output path
+#   ./scripts/bench.sh --baseline-bin OLD_SIM   # also record sweep speedup
+#   ./scripts/bench.sh --quick                  # smoke settings (CI)
+#
+# The sweep scenario is fixed (synthetic workload, 5 heterogeneous
+# servers, membership churn, 30 seeds, --jobs 1) so successive snapshots
+# are comparable; the engine's events/sec line printed by anufs_sim is
+# captured as a cross-check. Numbers are machine-dependent: compare
+# trajectories recorded on the same machine.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+OUT="$ROOT/BENCH_core.json"
+BASELINE_BIN=""
+MIN_TIME=0.5
+SWEEP="seed=1..30"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --out) OUT="$2"; shift 2 ;;
+    --baseline-bin) BASELINE_BIN="$2"; shift 2 ;;
+    --quick) MIN_TIME=0.05; SWEEP="seed=1..5"; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+echo "== build: default"
+cmake --preset default >/dev/null
+cmake --build --preset default -j "${ANUFS_JOBS:-$(nproc 2>/dev/null || echo 2)}" \
+  --target micro_core anufs_sim_cli >/dev/null
+
+MICRO="$ROOT/build/bench/micro_core"
+SIM="$ROOT/build/tools/anufs_sim"
+
+echo "== micro: $MICRO (min_time=${MIN_TIME}s)"
+MICRO_JSON="$(mktemp)"
+"$MICRO" --benchmark_format=json --benchmark_min_time="$MIN_TIME" \
+  >"$MICRO_JSON" 2>/dev/null
+
+SCENARIO="$(mktemp)"
+cat >"$SCENARIO" <<'EOF'
+workload synthetic
+policy anu
+servers 1,3,5,7,9
+period 120
+seed 42
+san off
+detector off
+movement on
+fail 1200 4
+recover 2400 4
+add 3600 5 9.0
+emit summary
+EOF
+
+# Wall-clock a sweep binary; echoes "<seconds> <engine line>".
+time_sweep() {
+  local bin="$1" out elapsed start end
+  start=$(date +%s%N)
+  out="$("$bin" --jobs 1 --sweep "$SWEEP" "$SCENARIO")"
+  end=$(date +%s%N)
+  elapsed=$(awk -v s="$start" -v e="$end" 'BEGIN { printf "%.3f", (e - s) / 1e9 }')
+  echo "$elapsed"
+  echo "$out" | grep '^engine' || true
+}
+
+echo "== sweep: $SIM --jobs 1 --sweep $SWEEP"
+mapfile -t SWEEP_RESULT < <(time_sweep "$SIM")
+SWEEP_SECONDS="${SWEEP_RESULT[0]}"
+SWEEP_ENGINE="${SWEEP_RESULT[1]:-}"
+echo "   ${SWEEP_SECONDS}s | ${SWEEP_ENGINE}"
+
+BASELINE_SECONDS=null
+BASELINE_ENGINE=""
+if [ -n "$BASELINE_BIN" ]; then
+  echo "== sweep (baseline): $BASELINE_BIN"
+  mapfile -t BASE_RESULT < <(time_sweep "$BASELINE_BIN")
+  BASELINE_SECONDS="${BASE_RESULT[0]}"
+  BASELINE_ENGINE="${BASE_RESULT[1]:-}"
+  echo "   ${BASELINE_SECONDS}s | ${BASELINE_ENGINE}"
+fi
+
+jq -n \
+  --slurpfile micro "$MICRO_JSON" \
+  --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+  --arg commit "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+  --arg host "$(uname -sr)" \
+  --arg sweep "$SWEEP" \
+  --arg sweep_engine "$SWEEP_ENGINE" \
+  --arg baseline_engine "$BASELINE_ENGINE" \
+  --argjson sweep_seconds "$SWEEP_SECONDS" \
+  --argjson baseline_seconds "$BASELINE_SECONDS" \
+  '
+  ($micro[0].benchmarks | map({(.name): {time_ns: .real_time,
+                                         cpu_ns: .cpu_time,
+                                         hit_rate: (.hit_rate // null)}})
+     | add) as $bench |
+  {
+    schema: "anufs-bench-v1",
+    recorded_at: $date,
+    commit: $commit,
+    host: $host,
+    micro: $bench,
+    derived: {
+      locate_cached_speedup_64: (
+        $bench["BM_LocateUncached/64"].time_ns /
+        $bench["BM_LocateCached/64"].time_ns),
+      scheduler_events_per_sec: (
+        1e9 / $bench["BM_SchedulerThroughput"].time_ns)
+    },
+    sweep: {
+      scenario: "synthetic anu 5-server churn",
+      sweep: $sweep,
+      jobs: 1,
+      seconds: $sweep_seconds,
+      engine: $sweep_engine,
+      baseline_seconds: $baseline_seconds,
+      baseline_engine: (if $baseline_engine == "" then null
+                        else $baseline_engine end),
+      speedup_vs_baseline: (if $baseline_seconds == null then null
+                            else ($baseline_seconds / $sweep_seconds) end)
+    }
+  }' >"$OUT"
+
+rm -f "$MICRO_JSON" "$SCENARIO"
+echo "== wrote $OUT"
+jq '.derived, .sweep.seconds, .sweep.speedup_vs_baseline' "$OUT"

@@ -21,14 +21,26 @@
 #   ./scripts/check.sh                # all of the above
 #   ./scripts/check.sh default        # one preset
 #   ./scripts/check.sh tsan lint      # any subset, in order
+#   ./scripts/check.sh --bench        # all of the above + quick bench
+#                                     # trajectory (scripts/bench.sh);
+#                                     # opt-in, never part of the default
+#                                     # gate — timing is machine-local
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
 JOBS="${ANUFS_JOBS:-$(nproc 2>/dev/null || echo 2)}"
-STAGES=("$@")
-if [ $# -eq 0 ]; then
+RUN_BENCH=0
+STAGES=()
+for arg in "$@"; do
+  if [ "$arg" = --bench ] || [ "$arg" = bench ]; then
+    RUN_BENCH=1
+  else
+    STAGES+=("$arg")
+  fi
+done
+if [ ${#STAGES[@]} -eq 0 ]; then
   STAGES=(default sanitize tsan lint)
 fi
 
@@ -45,5 +57,10 @@ for stage in "${STAGES[@]}"; do
   echo "== test: $stage"
   ctest --preset "$stage" -j "$JOBS"
 done
+
+if [ "$RUN_BENCH" -eq 1 ]; then
+  echo "== bench (quick trajectory)"
+  ./scripts/bench.sh --quick --out "${ANUFS_BENCH_OUT:-/tmp/BENCH_core.quick.json}"
+fi
 
 echo "check.sh: all stages green"

@@ -38,7 +38,9 @@ ClusterSim::ClusterSim(ClusterConfig config,
 }
 
 void ClusterSim::install_node(ServerId id, double speed) {
-  ANUFS_EXPECTS(!nodes_.contains(id));
+  const std::size_t idx = id.value;
+  if (idx >= nodes_.size()) nodes_.resize(idx + 1);
+  ANUFS_EXPECTS(nodes_[idx] == nullptr);
   auto node_ptr = std::make_unique<ServerNode>(sched_, id, speed);
   if (config_.record_latency_samples) node_ptr->enable_sample_recording();
   if (config_.san.enabled) {
@@ -49,13 +51,12 @@ void ClusterSim::install_node(ServerId id, double speed) {
           san_.on_metadata_done(c.latency(), transfer);
         });
   }
-  nodes_.emplace(id, std::move(node_ptr));
+  nodes_[idx] = std::move(node_ptr);
 }
 
 ServerNode& ClusterSim::node(ServerId id) {
-  const auto it = nodes_.find(id);
-  ANUFS_EXPECTS(it != nodes_.end());
-  return *it->second;
+  ANUFS_EXPECTS(id.value < nodes_.size() && nodes_[id.value] != nullptr);
+  return *nodes_[id.value];
 }
 
 void ClusterSim::schedule_failure(sim::SimTime t, ServerId id) {
@@ -307,8 +308,10 @@ void ClusterSim::reconfigure() {
     it = undetected_.erase(it);
   }
   std::vector<core::ServerReport> reports;
-  for (const auto& [id, node_ptr] : nodes_) {
-    ServerNode& n = *node_ptr;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i] == nullptr) continue;
+    const ServerId id{i};
+    ServerNode& n = *nodes_[i];
     if (!n.alive()) {
       result_.latency_ms.at(server_label(id)).append(now, 0.0);
       continue;
@@ -382,10 +385,15 @@ RunResult ClusterSim::run() {
   ran_ = true;
   result_.total_requests = workload_.requests.size();
   // Pre-create series for the initial servers so labels exist even if a
-  // server never completes a request.
-  for (const auto& [id, node_ptr] : nodes_) {
-    result_.latency_ms.at(server_label(id));
+  // server never completes a request — and pre-size everything the
+  // steady-state loop appends to, so the hot path never reallocates.
+  const auto expected_points = static_cast<std::size_t>(
+      workload_.duration / config_.reconfig_period + 1.0);
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i] == nullptr) continue;
+    result_.latency_ms.at(server_label(ServerId{i})).reserve(expected_points);
   }
+  sched_.reserve(256);
   if (!workload_.requests.empty()) {
     sched_.schedule_at(workload_.requests.front().time,
                        [this] { arrive(0); });
@@ -399,15 +407,16 @@ RunResult ClusterSim::run() {
   }
   sched_.run_until(workload_.duration);
 
-  for (const auto& [id, node_ptr] : nodes_) {
-    const ServerNode& n = *node_ptr;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i] == nullptr) continue;
+    const ServerNode& n = *nodes_[i];
     result_.completed += n.completed();
     result_.mean_latency += n.latency_sum();
-    result_.server_completed[id.value] = n.completed();
-    result_.server_busy[id.value] = n.busy_time();
+    result_.server_completed[i] = n.completed();
+    result_.server_busy[i] = n.busy_time();
     result_.queued_at_end += n.in_flight();
     if (config_.record_latency_samples) {
-      result_.latency_samples[id.value] = n.latency_samples();
+      result_.latency_samples[i] = n.latency_samples();
     }
   }
   // Close the conservation ledger: every request the workload issued is

@@ -231,7 +231,11 @@ class ClusterSim {
   MovementModel movement_;
   SanModel san_;
   sim::Xoshiro256 san_rng_;
-  std::map<ServerId, std::unique_ptr<ServerNode>> nodes_;
+  // Dense by ServerId.value (ids are commissioned densely): request
+  // routing resolves the owner's node with one indexed load instead of
+  // an ordered-map walk. Index order == id order, so iteration remains
+  // deterministic; a null slot is an id never commissioned.
+  std::vector<std::unique_ptr<ServerNode>> nodes_;
   // Movement-in-progress bookkeeping.
   std::unordered_map<FileSetId, sim::SimTime> unavailable_until_;
   std::unordered_map<FileSetId, std::vector<HeldRequest>> held_;

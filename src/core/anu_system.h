@@ -16,6 +16,7 @@
 #include "core/delegate.h"
 #include "core/pairwise_tuner.h"
 #include "core/placement.h"
+#include "core/placement_cache.h"
 #include "core/tuner.h"
 
 namespace anufs::core {
@@ -42,12 +43,29 @@ class AnuSystem {
   AnuSystem(AnuConfig config, const std::vector<ServerId>& initial);
 
   // ---- addressing -------------------------------------------------------
+  // Request routing goes through a generation-stamped PlacementCache:
+  // repeated lookups between reconfigurations skip the probe chain
+  // entirely while staying bit-identical to the uncached derivation (any
+  // region-map mutation bumps the generation, fencing every entry). The
+  // cache is mutable state behind a const API, which is why an AnuSystem
+  // is confined to one thread — the rule every per-run simulator object
+  // already follows (see sim::Scheduler).
 
   [[nodiscard]] ServerId locate(std::uint64_t fingerprint) const {
-    return placement_.locate_server(fingerprint);
+    return cache_.locate(placement_, fingerprint).server;
   }
   [[nodiscard]] LocateResult locate_detailed(std::uint64_t fp) const {
+    return cache_.locate(placement_, fp);
+  }
+
+  /// The full probe-chain derivation, bypassing the cache (benchmarks
+  /// and the cache's own property tests compare against this).
+  [[nodiscard]] LocateResult locate_uncached(std::uint64_t fp) const {
     return placement_.locate(fp);
+  }
+
+  [[nodiscard]] PlacementCache::Stats cache_stats() const noexcept {
+    return cache_.stats();
   }
 
   // ---- reconfiguration --------------------------------------------------
@@ -97,6 +115,7 @@ class AnuSystem {
   PlacementMap placement_;
   Delegate delegate_;
   PairwiseTuner pairwise_;
+  mutable PlacementCache cache_;
   std::uint64_t version_ = 0;
 };
 

@@ -15,8 +15,9 @@ LocateResult PlacementMap::locate(std::uint64_t fingerprint) const {
     }
   }
   // Direct-to-server fallback: deterministic over the sorted alive list,
-  // so every node resolves identically without coordination.
-  const std::vector<ServerId> ids = regions_.server_ids();
+  // so every node resolves identically without coordination. The list is
+  // the map's eagerly-maintained snapshot — no per-lookup allocation.
+  const std::vector<ServerId>& ids = regions_.server_ids_view();
   const std::uint32_t idx = family_.fallback_server(
       fingerprint, static_cast<std::uint32_t>(ids.size()));
   ++result.probes;

@@ -14,6 +14,9 @@ RegionMap::RegionMap(std::uint32_t n_partitions) : space_(n_partitions) {
 void RegionMap::add_server(ServerId id) {
   const bool inserted = servers_.emplace(id, ServerRegions{}).second;
   ANUFS_EXPECTS(inserted);
+  alive_ids_.insert(
+      std::upper_bound(alive_ids_.begin(), alive_ids_.end(), id), id);
+  ++generation_;
   detail::maybe_audit(*this);
 }
 
@@ -25,15 +28,13 @@ void RegionMap::remove_server(ServerId id) {
   if (sr.partial) release_partition(*sr.partial);
   total_ -= sr.share;
   servers_.erase(it);
+  alive_ids_.erase(
+      std::find(alive_ids_.begin(), alive_ids_.end(), id));
+  ++generation_;
   detail::maybe_audit(*this);
 }
 
-std::vector<ServerId> RegionMap::server_ids() const {
-  std::vector<ServerId> out;
-  out.reserve(servers_.size());
-  for (const auto& [id, sr] : servers_) out.push_back(id);
-  return out;
-}
+std::vector<ServerId> RegionMap::server_ids() const { return alive_ids_; }
 
 void RegionMap::release_partition(std::uint32_t p) {
   parts_[p] = PartitionState{};
@@ -124,6 +125,7 @@ void RegionMap::resize(ServerId id, Measure target) {
     total_ -= delta;
   }
   sr.share = target;
+  ++generation_;
   detail::maybe_audit(*this);
 }
 
@@ -176,6 +178,7 @@ void RegionMap::repartition_double() {
       sr.partial = p;
     }
   }
+  ++generation_;
   detail::maybe_audit(*this);
 }
 
@@ -248,6 +251,7 @@ RegionMap RegionMap::restore(std::uint32_t n_partitions,
     sr.share += rec.fill;
     map.total_ += rec.fill;
   }
+  ++map.generation_;  // record installation mutated state after add_server
   map.check_invariants();
   detail::maybe_audit(map);
   return map;

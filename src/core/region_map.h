@@ -72,8 +72,26 @@ class RegionMap {
 
   [[nodiscard]] std::vector<ServerId> server_ids() const;
 
+  /// Registered servers in id order, without allocating: the snapshot is
+  /// maintained eagerly across membership changes (shaping leaves it
+  /// untouched), so request-time fallback routing never materializes a
+  /// fresh vector. Invalidated by the next mutation — do not hold the
+  /// reference across one.
+  [[nodiscard]] const std::vector<ServerId>& server_ids_view() const noexcept {
+    return alive_ids_;
+  }
+
   [[nodiscard]] std::uint32_t server_count() const noexcept {
     return static_cast<std::uint32_t>(servers_.size());
+  }
+
+  /// Monotone mutation counter: bumps on every state-changing operation
+  /// (add/remove/resize/rebalance/repartition). Consumers that memoize
+  /// placement lookups (core::PlacementCache) stamp entries with this
+  /// value and treat any change as a new epoch, so a stale answer can
+  /// never be served after the map moved.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
   }
 
   // ---- shaping ----------------------------------------------------------
@@ -166,7 +184,11 @@ class RegionMap {
   std::vector<PartitionState> parts_;
   std::set<std::uint32_t> free_;               // unowned partitions
   std::map<ServerId, ServerRegions> servers_;  // ordered => deterministic
+  std::vector<ServerId> alive_ids_;            // sorted; mirrors servers_
   Measure total_ = 0;
+  // Starts at 1 so generation 0 can serve as an "empty" sentinel in
+  // generation-stamped caches.
+  std::uint64_t generation_ = 1;
 };
 
 }  // namespace anufs::core

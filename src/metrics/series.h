@@ -19,6 +19,10 @@ class Series {
     points_.emplace_back(time, value);
   }
 
+  /// Pre-size for an expected point count (e.g. duration / period) so
+  /// steady-state appends never reallocate mid-run.
+  void reserve(std::size_t points) { points_.reserve(points); }
+
   [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
   [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
 

@@ -18,6 +18,7 @@ void AnuPolicy::initialize(
   set_servers(servers);
   system_ = std::make_unique<core::AnuSystem>(config_, servers_);
   assignment_ = derive_assignment();
+  commit_assignment();
 }
 
 std::vector<Move> AnuPolicy::rebalance(

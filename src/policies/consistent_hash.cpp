@@ -71,6 +71,7 @@ void ConsistentHashPolicy::initialize(
     add_points(id);
   }
   assignment_ = derive_assignment();
+  commit_assignment();
 }
 
 std::vector<Move> ConsistentHashPolicy::on_server_failed(ServerId id) {

@@ -14,7 +14,20 @@ std::vector<Move> AssignmentPolicyBase::apply_assignment(
     if (it->second != to) moves.push_back(Move{fs, it->second, to});
   }
   assignment_ = next;
+  commit_assignment();
   return moves;
+}
+
+void AssignmentPolicyBase::commit_assignment() {
+  std::uint32_t max_id = 0;
+  for (const auto& [fs, owner] : assignment_) {
+    max_id = std::max(max_id, fs.value);
+  }
+  const std::size_t size = assignment_.empty() ? 0 : std::size_t{max_id} + 1;
+  owner_table_.assign(size, kInvalidServer);
+  for (const auto& [fs, owner] : assignment_) {
+    owner_table_[fs.value] = owner;
+  }
 }
 
 void AssignmentPolicyBase::set_servers(std::vector<ServerId> servers) {

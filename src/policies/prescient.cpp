@@ -265,6 +265,7 @@ void PrescientPolicy::initialize(
                               ? total_load()
                               : window_load(0.0, config_.period);
   assignment_ = refine(pack_lpt(load), load);
+  commit_assignment();
 }
 
 std::vector<Move> PrescientPolicy::rebalance(

@@ -13,6 +13,7 @@ void RoundRobinPolicy::initialize(
     next[file_sets_[i].id] = servers_[i % servers_.size()];
   }
   assignment_ = std::move(next);
+  commit_assignment();
 }
 
 std::vector<Move> RoundRobinPolicy::on_server_failed(ServerId id) {
@@ -27,6 +28,7 @@ std::vector<Move> RoundRobinPolicy::on_server_failed(ServerId id) {
     moves.push_back(Move{fs, id, to});
     owner = to;
   }
+  commit_assignment();
   return moves;
 }
 

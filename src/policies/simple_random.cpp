@@ -16,6 +16,7 @@ void SimpleRandomPolicy::initialize(
     next[fs.id] = servers_[rng.next_below(servers_.size())];
   }
   assignment_ = std::move(next);
+  commit_assignment();
 }
 
 std::vector<Move> SimpleRandomPolicy::on_server_failed(ServerId id) {
@@ -30,6 +31,7 @@ std::vector<Move> SimpleRandomPolicy::on_server_failed(ServerId id) {
     moves.push_back(Move{fs, id, to});
     owner = to;
   }
+  commit_assignment();
   return moves;
 }
 

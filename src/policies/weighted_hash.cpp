@@ -64,6 +64,7 @@ void WeightedHashPolicy::initialize(
   }
   reproportion();
   assignment_ = derive_assignment();
+  commit_assignment();
 }
 
 std::vector<Move> WeightedHashPolicy::on_server_failed(ServerId id) {

@@ -13,46 +13,59 @@ EventId Scheduler::schedule_at(SimTime at, Handler fn) {
   ANUFS_EXPECTS(at >= now_);
   ANUFS_EXPECTS(fn != nullptr);
   const std::uint64_t seq = next_seq_++;
-  const EventId id{seq};
-  heap_.push_back(Entry{at, seq, id});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    ++stats_.pool_recycled;
+  } else {
+    slot = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+    ++stats_.pool_allocated;
+  }
+  Node& node = nodes_[slot];
+  node.fn = std::move(fn);
+  heap_.push_back(Entry{at, seq, slot, node.gen});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
-  handlers_.emplace(seq, std::move(fn));
   stats_.peak_pending = std::max(stats_.peak_pending, pending());
-  return id;
+  return EventId{make_id(slot, node.gen)};
 }
 
 bool Scheduler::cancel(EventId id) {
-  auto it = handlers_.find(id.value);
-  if (it == handlers_.end()) return false;
+  const auto slot = static_cast<std::uint32_t>(id.value & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id.value >> 32);
+  if (slot >= nodes_.size()) return false;
+  Node& node = nodes_[slot];
+  if (node.gen != gen) return false;  // already fired or cancelled
   // Eager reclaim: the handler and whatever it captured die here, not
   // when the tombstone eventually surfaces (which may be never if the
-  // run stops early or the calendar is abandoned).
-  handlers_.erase(it);
-  cancelled_.insert(id.value);
+  // run stops early or the calendar is abandoned). Advancing the slot
+  // generation orphans the heap entry and immediately recycles the slot.
+  node.fn = nullptr;
+  ++node.gen;
+  free_slots_.push_back(slot);
+  ++tombstones_;
   ++stats_.cancelled;
   maybe_compact();
   return true;
 }
 
 void Scheduler::maybe_compact() {
-  if (cancelled_.size() < kCompactionFloor) return;
-  if (cancelled_.size() * 2 < heap_.size()) return;
-  std::erase_if(heap_, [this](const Entry& e) {
-    return cancelled_.contains(e.id.value);
-  });
+  if (tombstones_ < kCompactionFloor) return;
+  if (tombstones_ * 2 < heap_.size()) return;
+  std::erase_if(heap_, [this](const Entry& e) { return is_tombstone(e); });
   std::make_heap(heap_.begin(), heap_.end(), Later{});
-  cancelled_.clear();
+  tombstones_ = 0;
   heap_.shrink_to_fit();
   ++stats_.compactions;
 }
 
 bool Scheduler::skip_cancelled() {
   while (!heap_.empty()) {
-    auto c = cancelled_.find(heap_.front().id.value);
-    if (c == cancelled_.end()) return true;
-    cancelled_.erase(c);
+    if (!is_tombstone(heap_.front())) return true;
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
+    --tombstones_;
   }
   return false;
 }
@@ -64,10 +77,15 @@ bool Scheduler::step() {
   heap_.pop_back();
   ANUFS_ENSURES(top.time >= now_);
   now_ = top.time;
-  auto it = handlers_.find(top.id.value);
-  ANUFS_ENSURES(it != handlers_.end());
-  Handler fn = std::move(it->second);
-  handlers_.erase(it);
+  Node& node = nodes_[top.slot];
+  ANUFS_ENSURES(node.fn != nullptr);
+  Handler fn = std::move(node.fn);
+  node.fn = nullptr;  // moved-from state is unspecified; make it empty
+  ++node.gen;
+  // Recycle before running: the handler may schedule into this very slot
+  // (the common steady-state pattern), reusing it with the new generation.
+  // NOTE: fn() may grow nodes_, so `node` must not be touched after this.
+  free_slots_.push_back(top.slot);
   ++stats_.fired;
   fn();
   return true;

@@ -9,8 +9,6 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/check.h"
@@ -38,6 +36,12 @@ struct EventId {
 /// it, so cancel-heavy workloads stay O(live events) in memory even when
 /// the cancelled entries never surface at the top.
 ///
+/// Allocation discipline: handlers live in a slot pool recycled through a
+/// free list, so steady-state operation (schedule -> fire -> schedule)
+/// performs no per-event heap allocation once the pool has grown to the
+/// peak concurrent event count. Stats::pool_allocated / pool_recycled
+/// expose the split so tests can assert the steady state really recycles.
+///
 /// A Scheduler is confined to one thread. Concurrent simulations each own
 /// their own Scheduler (see sim::ThreadPool and driver/parallel_runner).
 class Scheduler {
@@ -60,6 +64,8 @@ class Scheduler {
     std::uint64_t cancelled = 0;   ///< events cancelled before firing
     std::uint64_t compactions = 0; ///< tombstone-purge passes over the heap
     std::size_t peak_pending = 0;  ///< high-water mark of pending()
+    std::uint64_t pool_allocated = 0;  ///< event nodes freshly allocated
+    std::uint64_t pool_recycled = 0;   ///< schedules served from the free list
   };
 
   /// Current simulated time. Starts at kTimeZero; advances only while
@@ -68,7 +74,7 @@ class Scheduler {
 
   /// Number of events scheduled but not yet fired or cancelled.
   [[nodiscard]] std::size_t pending() const noexcept {
-    return heap_.size() - cancelled_.size();
+    return heap_.size() - tombstones_;
   }
 
   [[nodiscard]] bool empty() const noexcept { return pending() == 0; }
@@ -81,6 +87,14 @@ class Scheduler {
   /// observe a half-updated struct if it outlives this Scheduler or
   /// hands the snapshot to another thread.
   [[nodiscard]] Stats stats() const noexcept { return stats_; }
+
+  /// Pre-size the calendar and the node pool for an expected peak of
+  /// concurrently pending events (optional; the pool grows on demand).
+  void reserve(std::size_t events) {
+    heap_.reserve(events);
+    nodes_.reserve(events);
+    free_slots_.reserve(events);
+  }
 
   /// Schedule `fn` at absolute simulated time `at` (>= now()).
   EventId schedule_at(SimTime at, Handler fn);
@@ -110,10 +124,18 @@ class Scheduler {
   bool step();
 
  private:
+  // One pooled handler slot. `gen` advances every time the slot is
+  // consumed (fired or cancelled), so a heap Entry or EventId carrying a
+  // stale generation can never resolve to a recycled slot's new handler.
+  struct Node {
+    Handler fn;
+    std::uint32_t gen = 1;
+  };
   struct Entry {
     SimTime time;
     std::uint64_t seq;
-    EventId id;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const noexcept {
@@ -121,6 +143,14 @@ class Scheduler {
       return a.seq > b.seq;
     }
   };
+
+  [[nodiscard]] static constexpr std::uint64_t make_id(
+      std::uint32_t slot, std::uint32_t gen) noexcept {
+    return (static_cast<std::uint64_t>(gen) << 32) | slot;
+  }
+  [[nodiscard]] bool is_tombstone(const Entry& e) const noexcept {
+    return nodes_[e.slot].gen != e.gen;
+  }
 
   // Pops cancelled entries off the heap top; returns false if drained.
   bool skip_cancelled();
@@ -135,9 +165,13 @@ class Scheduler {
   // Binary heap managed with std::push_heap/pop_heap (rather than
   // std::priority_queue) so maybe_compact() can rebuild it in place.
   std::vector<Entry> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
-  // Handlers stored separately so Entry stays trivially copyable.
-  std::unordered_map<std::uint64_t, Handler> handlers_;
+  // Slot pool: handlers stored out of the heap so Entry stays trivially
+  // copyable, recycled through free_slots_ so steady state allocates
+  // nothing. tombstones_ counts heap entries whose slot generation moved
+  // on (cancelled, by the eager-reclaim rule in cancel()).
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t tombstones_ = 0;
 };
 
 }  // namespace anufs::sim

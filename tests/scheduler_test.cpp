@@ -290,6 +290,60 @@ TEST(Scheduler, DeterministicOrderWithCancellationAndCompaction) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+TEST(Scheduler, SteadyStateRecyclesSlotsInsteadOfAllocating) {
+  // schedule -> fire -> schedule must stop growing the pool once it
+  // covers the peak backlog: only the first round allocates nodes, every
+  // later schedule is served from the free list.
+  Scheduler sched;
+  for (int round = 0; round < 100; ++round) {
+    for (int e = 0; e < 8; ++e) {
+      sched.schedule_in(static_cast<double>(e), [] {});
+    }
+    sched.run();
+  }
+  const Scheduler::Stats stats = sched.stats();
+  EXPECT_EQ(stats.fired, 800u);
+  EXPECT_EQ(stats.pool_allocated, 8u);
+  EXPECT_EQ(stats.pool_recycled, 792u);
+}
+
+TEST(Scheduler, CancelledSlotsReturnToThePool) {
+  Scheduler sched;
+  const EventId id = sched.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sched.cancel(id));
+  sched.schedule_at(2.0, [] {});
+  const Scheduler::Stats stats = sched.stats();
+  EXPECT_EQ(stats.pool_allocated, 1u);
+  EXPECT_EQ(stats.pool_recycled, 1u);
+}
+
+TEST(Scheduler, StaleIdCannotCancelARecycledSlot) {
+  // After `first` fires, its slot returns to the pool and the next
+  // schedule reuses it — under a fresh generation, so the stale id must
+  // neither cancel the new event nor be reported as cancellable.
+  Scheduler sched;
+  const EventId first = sched.schedule_at(1.0, [] {});
+  sched.run();
+  bool second_fired = false;
+  const EventId second =
+      sched.schedule_at(2.0, [&second_fired] { second_fired = true; });
+  EXPECT_NE(first.value, second.value);
+  EXPECT_FALSE(sched.cancel(first));
+  sched.run();
+  EXPECT_TRUE(second_fired);
+  EXPECT_EQ(sched.stats().pool_recycled, 1u);
+}
+
+TEST(Scheduler, ReservePreSizesWithoutAllocatingNodes) {
+  Scheduler sched;
+  sched.reserve(64);
+  EXPECT_EQ(sched.stats().pool_allocated, 0u);
+  sched.schedule_at(1.0, [] {});
+  EXPECT_EQ(sched.stats().pool_allocated, 1u);
+  sched.run();
+  EXPECT_EQ(sched.fired(), 1u);
+}
+
 TEST(Scheduler, ManyEventsDeterministicOrder) {
   // Two identical schedules must produce identical firing orders.
   const auto run_once = [] {

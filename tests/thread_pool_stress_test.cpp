@@ -126,6 +126,8 @@ TEST(ThreadPoolStress, IndependentSchedulersWithCancelStorms) {
   constexpr std::size_t kRuns = 8;
   std::vector<std::uint64_t> fired(kRuns, 0);
   std::vector<std::uint64_t> cancelled(kRuns, 0);
+  std::vector<std::uint64_t> allocated(kRuns, 0);
+  std::vector<std::uint64_t> recycled(kRuns, 0);
   parallel_for(kRuns, 4, [&](std::size_t i) {
     Scheduler sched;
     std::vector<EventId> pending;
@@ -144,14 +146,23 @@ TEST(ThreadPoolStress, IndependentSchedulersWithCancelStorms) {
     const Scheduler::Stats stats = sched.stats();  // by-value snapshot
     fired[i] = stats.fired;
     cancelled[i] = stats.cancelled;
+    allocated[i] = stats.pool_allocated;
+    recycled[i] = stats.pool_recycled;
   });
   // Identical storms => identical per-run counters, regardless of
   // which worker executed which run.
   for (std::size_t i = 1; i < kRuns; ++i) {
     EXPECT_EQ(fired[i], fired[0]);
     EXPECT_EQ(cancelled[i], cancelled[0]);
+    EXPECT_EQ(allocated[i], allocated[0]);
+    EXPECT_EQ(recycled[i], recycled[0]);
   }
   EXPECT_EQ(fired[0] + cancelled[0], 50u * 40u);
+  // Steady state really recycles: the pool grows only in the first
+  // round (40 concurrent events); all 49 later rounds are served
+  // entirely from the free list.
+  EXPECT_EQ(allocated[0], 40u);
+  EXPECT_EQ(recycled[0], 50u * 40u - 40u);
 }
 
 TEST(ThreadPoolStress, RapidConstructDestructCycles) {
