@@ -11,6 +11,7 @@
 #include "core/anu_system.h"
 #include "core/tuner.h"
 #include "hash/hash_family.h"
+#include "obs/trace.h"
 #include "sim/random.h"
 #include "sim/scheduler.h"
 
@@ -159,6 +160,31 @@ void BM_MembershipChurn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MembershipChurn)->Arg(5)->Arg(64);
+
+// The observability layer's overhead contract (src/obs/trace.h): with
+// no sink installed a trace site is one thread-local load and a null
+// check; with a sink it is one POD append into a pre-sized ring. Both
+// must stay flat — a regression here taxes every decision point in
+// every run.
+void BM_TraceDisabled(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ANUFS_TRACE(obs::Category::kMove, "bench", {"i", i});
+    benchmark::DoNotOptimize(++i);
+  }
+}
+BENCHMARK(BM_TraceDisabled);
+
+void BM_TraceEnabled(benchmark::State& state) {
+  obs::TraceSink sink;
+  obs::ScopedTraceSink install(sink);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ANUFS_TRACE(obs::Category::kMove, "bench", {"i", i});
+    benchmark::DoNotOptimize(++i);
+  }
+}
+BENCHMARK(BM_TraceEnabled);
 
 }  // namespace
 

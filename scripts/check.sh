@@ -10,6 +10,9 @@
 #             any cross-run data race fails the suite
 #   lint      clang-tidy over src/ tools/ bench/ tests/ (skips when
 #             clang-tidy is not installed)
+#   trace-smoke  run anufs_sim --trace on a tiny scenario (default
+#             preset's build) and validate the exported JSONL against
+#             scripts/check_trace_schema.py
 #
 # Tests carry ctest labels (unit | property | golden | stress; see
 # tests/CMakeLists.txt). default and sanitize run every label; the tsan
@@ -41,13 +44,31 @@ for arg in "$@"; do
   fi
 done
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(default sanitize tsan lint)
+  STAGES=(default trace-smoke sanitize tsan lint)
 fi
 
 for stage in "${STAGES[@]}"; do
   if [ "$stage" = lint ]; then
     echo "== lint"
     ./scripts/lint.sh
+    continue
+  fi
+  if [ "$stage" = trace-smoke ]; then
+    # Needs the default preset built (runs after `default` in the full
+    # gate; standalone invocations build it on demand).
+    echo "== trace-smoke"
+    if [ ! -x build/tools/anufs_sim ]; then
+      cmake --preset default
+      cmake --build --preset default -j "$JOBS" --target anufs_sim_cli
+    fi
+    TRACE_OUT="$(mktemp -d)/smoke.jsonl"
+    printf 'workload synthetic\npolicy anu\nservers 1,3,5,7,9\nperiod 60\nduration 300\nrequests 2000\nfile_sets 40\nseed 7\nfail 120 4\nrecover 240 4\n' \
+      | build/tools/anufs_sim --trace "$TRACE_OUT" - > /dev/null
+    python3 scripts/check_trace_schema.py "$TRACE_OUT"
+    # The Chrome export must at least be valid JSON for Perfetto.
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$TRACE_OUT.chrome.json"
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$TRACE_OUT.metrics.json"
+    rm -rf "$(dirname "$TRACE_OUT")"
     continue
   fi
   echo "== configure: $stage"

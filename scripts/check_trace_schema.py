@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Validate an anufs JSONL trace: every line is a JSON object with the
+t/seq/cat/name/args shape and a known category. Usage:
+    check_trace_schema.py <trace.jsonl>
+"""
+import json
+import sys
+
+CATEGORIES = {"delegate", "tuner", "move", "cache", "fault", "sched"}
+
+
+def fail(line_no, why):
+    sys.exit(f"{sys.argv[1]}:{line_no}: {why}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    last_seq = -1
+    events = 0
+    with open(sys.argv[1], encoding="utf-8") as fh:
+        for i, line in enumerate(fh, 1):
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(i, f"not JSON: {e}")
+            if not isinstance(event, dict):
+                fail(i, "not a JSON object")
+            for key, kind in [("t", (int, float)), ("seq", int),
+                              ("cat", str), ("name", str), ("args", dict)]:
+                if not isinstance(event.get(key), kind):
+                    fail(i, f"missing or mistyped '{key}'")
+            if event["cat"] not in CATEGORIES:
+                fail(i, f"unknown category '{event['cat']}'")
+            if event["seq"] <= last_seq:
+                fail(i, f"seq not increasing ({event['seq']} after {last_seq})")
+            last_seq = event["seq"]
+            events += 1
+    print(f"{sys.argv[1]}: ok ({events} events)")
+
+
+if __name__ == "__main__":
+    main()

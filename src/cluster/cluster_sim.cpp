@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/trace.h"
 #include "sim/distributions.h"
 
 namespace anufs::cluster {
@@ -11,6 +12,18 @@ namespace {
 
 std::string server_label(ServerId id) {
   return "server" + std::to_string(id.value);
+}
+
+const char* reason_name(ClusterSim::MoveReason reason) {
+  switch (reason) {
+    case ClusterSim::MoveReason::kRebalance:
+      return "rebalance";
+    case ClusterSim::MoveReason::kRecovery:
+      return "recovery";
+    case ClusterSim::MoveReason::kMembership:
+      return "membership";
+  }
+  return "unknown";
 }
 
 }  // namespace
@@ -62,6 +75,9 @@ ServerNode& ClusterSim::node(ServerId id) {
 void ClusterSim::schedule_failure(sim::SimTime t, ServerId id) {
   sched_.schedule_at(t, [this, id] {
     const std::size_t lost = node(id).crash();
+    ANUFS_TRACE(obs::Category::kFault, "crash", {"server", id.value},
+                {"lost", lost},
+                {"silent", config_.detector.enabled ? 1 : 0});
     result_.lost += lost;
     if (config_.san.enabled) {
       for (std::size_t i = 0; i < lost; ++i) san_.on_metadata_lost();
@@ -79,7 +95,7 @@ void ClusterSim::schedule_failure(sim::SimTime t, ServerId id) {
       // silence; meanwhile its file sets are unreachable.
       undetected_.emplace(id, sched_.now());
     } else {
-      apply_moves(policy_.on_server_failed(id), /*crash_induced=*/true);
+      apply_moves(policy_.on_server_failed(id), MoveReason::kRecovery);
     }
   });
 }
@@ -88,8 +104,11 @@ void ClusterSim::detector_sweep() {
   const sim::SimTime now = sched_.now();
   for (auto it = undetected_.begin(); it != undetected_.end();) {
     if (now - it->second >= config_.detector.timeout) {
+      ANUFS_TRACE(obs::Category::kFault, "failure_declared",
+                  {"server", it->first.value},
+                  {"silent_for", now - it->second});
       apply_moves(policy_.on_server_failed(it->first),
-                  /*crash_induced=*/true);
+                  MoveReason::kRecovery);
       it = undetected_.erase(it);
     } else {
       ++it;
@@ -105,7 +124,8 @@ void ClusterSim::schedule_recovery(sim::SimTime t, ServerId id) {
     // declared (it would still be a member).
     ANUFS_EXPECTS(!undetected_.contains(id));
     node(id).recover();
-    apply_moves(policy_.on_server_added(id), /*crash_induced=*/false);
+    ANUFS_TRACE(obs::Category::kFault, "recover", {"server", id.value});
+    apply_moves(policy_.on_server_added(id), MoveReason::kMembership);
   });
 }
 
@@ -113,7 +133,9 @@ void ClusterSim::schedule_addition(sim::SimTime t, ServerId id,
                                    double speed) {
   sched_.schedule_at(t, [this, id, speed] {
     install_node(id, speed);
-    apply_moves(policy_.on_server_added(id), /*crash_induced=*/false);
+    ANUFS_TRACE(obs::Category::kFault, "add", {"server", id.value},
+                {"speed", speed});
+    apply_moves(policy_.on_server_added(id), MoveReason::kMembership);
   });
 }
 
@@ -221,7 +243,8 @@ void ClusterSim::drain_held(FileSetId fs) {
 }
 
 void ClusterSim::apply_moves(const std::vector<policy::Move>& moves,
-                             bool crash_induced) {
+                             MoveReason reason) {
+  const bool crash_induced = reason == MoveReason::kRecovery;
   result_.moves += moves.size();
   result_.moves_timeline.emplace_back(sched_.now(), moves.size());
   if (crash_induced) result_.crash_moves += moves.size();
@@ -233,6 +256,11 @@ void ClusterSim::apply_moves(const std::vector<policy::Move>& moves,
     }
   }
   if (!movement_.config().enabled) {
+    for (const policy::Move& m : moves) {
+      ANUFS_TRACE(obs::Category::kMove, "fileset_move",
+                  {"fs", m.file_set.value}, {"from", m.from.value},
+                  {"to", m.to.value}, {"reason", reason_name(reason)});
+    }
     // Cost-free moves still require the backing's state transitions
     // (flush + recovery), or crashed file sets would never recover.
     if (backing_ != nullptr) {
@@ -253,6 +281,9 @@ void ClusterSim::apply_moves(const std::vector<policy::Move>& moves,
   }
   sim::SimTime last_ready = sched_.now();
   for (const policy::Move& m : moves) {
+    ANUFS_TRACE(obs::Category::kMove, "fileset_move",
+                {"fs", m.file_set.value}, {"from", m.from.value},
+                {"to", m.to.value}, {"reason", reason_name(reason)});
     movement_.on_move(m.file_set);
     double transit = movement_.sample_init();
     // Flaky-transfer injection: each failed attempt wastes a backoff
@@ -303,8 +334,10 @@ void ClusterSim::reconfigure() {
   // A crashed server cannot report: the delegate notices the missing
   // report, which is itself failure detection — declare before tuning.
   for (auto it = undetected_.begin(); it != undetected_.end();) {
-    apply_moves(policy_.on_server_failed(it->first),
-                /*crash_induced=*/true);
+    ANUFS_TRACE(obs::Category::kFault, "failure_declared",
+                {"server", it->first.value},
+                {"silent_for", now - it->second});
+    apply_moves(policy_.on_server_failed(it->first), MoveReason::kRecovery);
     it = undetected_.erase(it);
   }
   std::vector<core::ServerReport> reports;
@@ -351,8 +384,9 @@ void ClusterSim::reconfigure() {
           }
         }
       }
-      apply_moves(policy_.on_server_failed(suspect),
-                  /*crash_induced=*/true);
+      ANUFS_TRACE(obs::Category::kFault, "fenced",
+                  {"server", suspect.value});
+      apply_moves(policy_.on_server_failed(suspect), MoveReason::kRecovery);
       collector_.forget(suspect);
     }
     // The tuner needs one report per remaining member: servers whose
@@ -369,10 +403,10 @@ void ClusterSim::reconfigure() {
                            : core::ServerReport{id, 0.0, 0});
     }
     if (!padded.empty()) {
-      apply_moves(policy_.rebalance(now, padded), /*crash_induced=*/false);
+      apply_moves(policy_.rebalance(now, padded), MoveReason::kRebalance);
     }
   } else if (!reports.empty()) {
-    apply_moves(policy_.rebalance(now, reports), /*crash_induced=*/false);
+    apply_moves(policy_.rebalance(now, reports), MoveReason::kRebalance);
   }
   const sim::SimTime next = now + config_.reconfig_period;
   if (next <= workload_.duration) {

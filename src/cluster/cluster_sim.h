@@ -150,6 +150,14 @@ struct RunResult {
 
 class ClusterSim {
  public:
+  /// Why a batch of file-set relocations happened — recorded on the
+  /// trace (`move` category) and deciding crash-episode accounting.
+  enum class MoveReason {
+    kRebalance,   ///< delegate round scaled regions (overload correction)
+    kRecovery,    ///< declared failure displaced the victim's sets
+    kMembership,  ///< re-commission/addition re-hashed sets to the newcomer
+  };
+
   /// The policy is borrowed and must outlive the simulation.
   ClusterSim(ClusterConfig config, const workload::Workload& workload,
              policy::PlacementPolicy& policy);
@@ -218,7 +226,7 @@ class ClusterSim {
              std::size_t op_index);
   void reconfigure();
   void apply_moves(const std::vector<policy::Move>& moves,
-                   bool crash_induced);
+                   MoveReason reason);
   void drain_held(FileSetId fs);
   [[nodiscard]] ServerNode& node(ServerId id);
   void install_node(ServerId id, double speed);

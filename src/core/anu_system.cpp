@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "core/invariant_auditor.h"
 #include "hash/unit_interval.h"
+#include "obs/trace.h"
 
 namespace anufs::core {
 
@@ -77,6 +78,11 @@ TuneDecision AnuSystem::reconfigure(const std::vector<ServerReport>& reports) {
       config_.mode == TunerMode::kDecentralizedPairwise
           ? pairwise_.retune(reports, placement_.regions())
           : delegate_.run_round(reports, placement_.regions());
+  ANUFS_TRACE(obs::Category::kDelegate, "round",
+              {"reports", reports.size()},
+              {"avg_ms", decision.system_average * 1e3},
+              {"scaled", decision.explicitly_scaled.size()},
+              {"acted", decision.acted ? 1 : 0}, {"version", version_});
   if (decision.acted) {
     placement_.regions().rebalance_to(decision.targets);
     ++version_;
@@ -113,6 +119,8 @@ void AnuSystem::fail_server(ServerId id) {
   // is re-homed.
   restore_half_occupancy();
   ++version_;
+  ANUFS_TRACE(obs::Category::kDelegate, "fail_server", {"server", id.value},
+              {"survivors", regions.server_count()}, {"version", version_});
   check_invariants();
   detail::maybe_audit(*this);
 }
@@ -149,6 +157,10 @@ void AnuSystem::add_server(ServerId id) {
   regions.rebalance_to(targets);
   ANUFS_ENSURES(regions.total_share() == kHalfInterval);
   ++version_;
+  ANUFS_TRACE(obs::Category::kDelegate, "add_server", {"server", id.value},
+              {"servers", regions.server_count()},
+              {"partitions", regions.space().count()},
+              {"version", version_});
   check_invariants();
   detail::maybe_audit(*this);
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace anufs::core {
 
@@ -26,6 +27,9 @@ TuneDecision Delegate::run_round(const std::vector<ServerReport>& reports,
       // is gone. The protocol continues, minus divergent gating.
       tuner_.reset_history();
       ++failovers_;
+      ANUFS_TRACE(obs::Category::kDelegate, "failover",
+                  {"from", current_->value}, {"to", elected->value},
+                  {"failovers", failovers_});
     }
     current_ = elected;
   }

@@ -29,6 +29,7 @@
 
 #include "common/check.h"
 #include "core/placement.h"
+#include "obs/trace.h"
 
 namespace anufs::core {
 
@@ -63,6 +64,8 @@ class PlacementCache {
     const std::uint64_t gen = map.regions().generation();
     if (gen != last_gen_) {
       ++stats_.invalidations;
+      ANUFS_TRACE(obs::Category::kCache, "invalidate", {"generation", gen},
+                  {"hits", stats_.hits}, {"misses", stats_.misses});
       last_gen_ = gen;
     }
     // Fingerprints are themselves hash outputs (hash::fingerprint of the

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "hash/unit_interval.h"
+#include "obs/trace.h"
 
 namespace anufs::core {
 
@@ -143,6 +144,9 @@ TuneDecision LatencyTuner::retune(const std::vector<ServerReport>& reports,
       target[i] = std::max(capped, config_.min_share);
       scaled[i] = true;
       decision.explicitly_scaled.push_back(r.id);
+      ANUFS_TRACE(obs::Category::kTuner, "scale", {"server", r.id.value},
+                  {"factor", factor}, {"latency_ms", lat * 1e3},
+                  {"avg_ms", a * 1e3}, {"threshold", threshold});
     }
   }
 

@@ -41,6 +41,11 @@ std::vector<ScenarioConfig> expand_sweep(const ScenarioConfig& config) {
     run.sweep_begin = run.sweep_end = 0;
     run.seed = seed;
     run.cluster.seed = seed;
+    if (!run.trace_path.empty()) {
+      // One trace file set per seed: concurrent workers must never
+      // write the same path.
+      run.trace_path += ".seed" + std::to_string(seed);
+    }
     runs.push_back(std::move(run));
   }
   return runs;
@@ -61,11 +66,20 @@ std::vector<cluster::RunResult> run_sweep(const ScenarioConfig& config,
                                           std::ostream& os) {
   const std::vector<ScenarioConfig> runs = expand_sweep(config);
   const auto start = std::chrono::steady_clock::now();
-  std::vector<cluster::RunResult> results = run_parallel(runs, config.jobs);
+  // Like run_parallel, but each seed also records where its time went
+  // (setup vs event loop); phase clocks run on the worker thread, so
+  // CPU time is the run's own, not the pool's.
+  std::vector<cluster::RunResult> results(runs.size());
+  std::vector<RunProfile> profiles(runs.size());
+  sim::parallel_for(runs.size(), config.jobs, [&](std::size_t i) {
+    results[i] = run_scenario_profiled(runs[i], profiles[i]);
+  });
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
+  obs::PhaseCost aggregate;
+  obs::PhaseTimer aggregate_timer(aggregate);
   os << "# sweep: workload=" << config.workload
      << " policy=" << config.policy << " seeds=[" << config.sweep_begin
      << ".." << config.sweep_end << "] jobs=" << config.jobs << "\n";
@@ -101,6 +115,20 @@ std::vector<cluster::RunResult> run_sweep(const ScenarioConfig& config,
                                             : 0.0,
                                    2)
      << " M events/s)\n";
+  aggregate_timer.stop();
+  obs::PhaseCost setup, run;
+  for (const RunProfile& p : profiles) {
+    setup += p.setup;
+    run += p.run;
+  }
+  const auto phase = [&](const char* name, const obs::PhaseCost& c) {
+    os << "profile " << name << " "
+       << metrics::TableEmitter::num(c.wall, 3) << " s wall / "
+       << metrics::TableEmitter::num(c.cpu, 3) << " s cpu\n";
+  };
+  phase("setup", setup);
+  phase("run", run);
+  phase("aggregate", aggregate);
   return results;
 }
 

@@ -1,0 +1,72 @@
+#include "driver/run_metrics.h"
+
+#include "policies/anu_policy.h"
+
+namespace anufs::driver {
+
+obs::Registry collect_run_metrics(const ScenarioConfig& config,
+                                  const cluster::RunResult& result,
+                                  const policy::PlacementPolicy* policy,
+                                  const obs::TraceSink* sink) {
+  obs::Registry reg;
+
+  // Request-path outcomes (the conservation ledger).
+  reg.counter("requests.total").set(result.total_requests);
+  reg.counter("requests.completed").set(result.completed);
+  reg.counter("requests.lost").set(result.lost);
+  reg.counter("requests.forwarded").set(result.forwarded);
+  reg.counter("requests.queued_at_end").set(result.queued_at_end);
+  reg.counter("requests.held_at_end").set(result.held_at_end);
+  reg.counter("requests.in_transit_at_end").set(result.in_transit_at_end);
+
+  // File-set movement and membership.
+  reg.counter("moves.total").set(result.moves);
+  reg.counter("moves.crash_induced").set(result.crash_moves);
+  reg.counter("moves.failed_attempts").set(result.move_failures);
+  reg.counter("membership.fenced").set(result.fenced);
+  reg.counter("membership.recovery_episodes").set(result.recoveries.size());
+  reg.counter("net.reports_lost").set(result.reports_lost);
+
+  // Event-engine throughput counters.
+  reg.counter("engine.fired").set(result.engine.fired);
+  reg.counter("engine.cancelled").set(result.engine.cancelled);
+  reg.counter("engine.compactions").set(result.engine.compactions);
+  reg.counter("engine.peak_pending").set(result.engine.peak_pending);
+  reg.counter("engine.pool_allocated").set(result.engine.pool_allocated);
+  reg.counter("engine.pool_recycled").set(result.engine.pool_recycled);
+
+  reg.gauge("latency.run_mean_ms").set(result.mean_latency * 1e3);
+  if (config.cluster.san.enabled) {
+    reg.gauge("san.busy_s").set(result.san_busy);
+    reg.gauge("san.wasted_idle_s").set(result.san_wasted_idle);
+    reg.gauge("san.mean_end_to_end_ms").set(result.san_mean_end_to_end * 1e3);
+  }
+
+  // Per-interval per-server latency samples, pooled into one log-scale
+  // histogram (milliseconds; base bucket 1 ms).
+  obs::Histogram& lat = reg.histogram("latency.interval_ms", 1.0, 24);
+  for (const std::string& label : result.latency_ms.labels()) {
+    for (const auto& [time, value] : result.latency_ms.at(label).points()) {
+      (void)time;
+      lat.record(value);
+    }
+  }
+
+  // ANU placement-cache effectiveness, when the policy carries one.
+  if (const auto* anu = dynamic_cast<const policy::AnuPolicy*>(policy)) {
+    const core::PlacementCache::Stats cs = anu->system().cache_stats();
+    reg.counter("placement_cache.hits").set(cs.hits);
+    reg.counter("placement_cache.misses").set(cs.misses);
+    reg.counter("placement_cache.invalidations").set(cs.invalidations);
+    reg.gauge("placement_cache.hit_rate").set(cs.hit_rate());
+  }
+
+  // The trace's own health: how much the ring kept vs overwrote.
+  if (sink != nullptr) {
+    reg.counter("trace.recorded").set(sink->recorded());
+    reg.counter("trace.dropped").set(sink->dropped());
+  }
+  return reg;
+}
+
+}  // namespace anufs::driver

@@ -1,16 +1,21 @@
 #include "driver/scenario.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <istream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
 #include "common/check.h"
+#include "driver/run_metrics.h"
 #include "fault/fault_injector.h"
 #include "metrics/emit.h"
+#include "obs/export.h"
 #include "policies/anu_policy.h"
 #include "policies/consistent_hash.h"
 #include "policies/prescient.h"
@@ -26,52 +31,102 @@ namespace anufs::driver {
 
 namespace {
 
-[[noreturn]] void config_failure(std::size_t line_no, const std::string& what) {
-  std::fprintf(stderr, "anufs-scenario: line %zu: %s\n", line_no,
-               what.c_str());
+/// Where a diagnostic points: the input's name plus the 1-based line.
+struct LineCtx {
+  const std::string& source;
+  std::size_t line;
+};
+
+[[noreturn]] void config_failure(const LineCtx& ctx, const std::string& what) {
+  std::fprintf(stderr, "anufs-scenario: %s:%zu: %s\n", ctx.source.c_str(),
+               ctx.line, what.c_str());
   std::abort();
 }
 
-std::vector<double> parse_speeds(const std::string& csv, std::size_t line_no) {
+// ---- numeric token parsing -----------------------------------------------
+// std::stod/std::stoul would throw std::invalid_argument on garbage (an
+// uncaught abort with no context) and silently accept trailing junk
+// ("1.5x" -> 1.5). These helpers consume the WHOLE token or die with a
+// diagnostic naming source:line and the offending token.
+
+double parse_double(const std::string& token, const LineCtx& ctx,
+                    const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || token.empty() ||
+      errno == ERANGE || !std::isfinite(v)) {
+    config_failure(ctx, std::string("bad ") + what + " '" + token +
+                            "' (expected a finite number)");
+  }
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& token, const LineCtx& ctx,
+                        const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  // strtoull quietly wraps negatives ("-1" -> huge); require a digit
+  // first so the rejection is explicit.
+  if (token.empty() || (token[0] < '0' || token[0] > '9') ||
+      end != token.c_str() + token.size() || errno == ERANGE) {
+    config_failure(ctx, std::string("bad ") + what + " '" + token +
+                            "' (expected a non-negative integer)");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::uint32_t parse_u32(const std::string& token, const LineCtx& ctx,
+                        const char* what) {
+  const std::uint64_t v = parse_u64(token, ctx, what);
+  if (v > 0xffffffffull) {
+    config_failure(ctx, std::string("bad ") + what + " '" + token +
+                            "' (does not fit in 32 bits)");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+std::vector<double> parse_speeds(const std::string& csv, const LineCtx& ctx) {
   std::vector<double> speeds;
   std::string token;
   for (const char c : csv + ",") {
     if (c == ',') {
-      if (token.empty()) config_failure(line_no, "empty speed entry");
-      speeds.push_back(std::stod(token));
+      if (token.empty()) config_failure(ctx, "empty speed entry");
+      speeds.push_back(parse_double(token, ctx, "speed"));
       token.clear();
     } else {
       token += c;
     }
   }
-  if (speeds.empty()) config_failure(line_no, "no speeds given");
+  if (speeds.empty()) config_failure(ctx, "no speeds given");
   return speeds;
 }
 
-bool parse_on_off(const std::string& v, std::size_t line_no) {
+bool parse_on_off(const std::string& v, const LineCtx& ctx) {
   if (v == "on") return true;
   if (v == "off") return false;
-  config_failure(line_no, "expected on|off, got '" + v + "'");
+  config_failure(ctx, "expected on|off, got '" + v + "'");
 }
 
 // "seed=A..B" (inclusive, A <= B, A >= 1).
 void parse_sweep(const std::string& spec, ScenarioConfig& config,
-                 std::size_t line_no) {
+                 const LineCtx& ctx) {
   const auto eq = spec.find('=');
   const auto dots = spec.find("..");
   if (eq == std::string::npos || dots == std::string::npos || dots < eq ||
       spec.substr(0, eq) != "seed") {
-    config_failure(line_no, "expected sweep seed=A..B, got '" + spec + "'");
+    config_failure(ctx, "expected sweep seed=A..B, got '" + spec + "'");
   }
   const std::string lo = spec.substr(eq + 1, dots - eq - 1);
   const std::string hi = spec.substr(dots + 2);
   if (lo.empty() || hi.empty()) {
-    config_failure(line_no, "expected sweep seed=A..B, got '" + spec + "'");
+    config_failure(ctx, "expected sweep seed=A..B, got '" + spec + "'");
   }
-  config.sweep_begin = std::stoull(lo);
-  config.sweep_end = std::stoull(hi);
+  config.sweep_begin = parse_u64(lo, ctx, "sweep begin");
+  config.sweep_end = parse_u64(hi, ctx, "sweep end");
   if (config.sweep_begin == 0 || config.sweep_end < config.sweep_begin) {
-    config_failure(line_no, "sweep range must satisfy 1 <= A <= B");
+    config_failure(ctx, "sweep range must satisfy 1 <= A <= B");
   }
 }
 
@@ -101,7 +156,7 @@ workload::Workload build_workload(const ScenarioConfig& c) {
     return workload::make_op_workload(wc).workload;
   }
   if (c.workload == "trace") {
-    return workload::load_trace(c.trace_path);
+    return workload::load_trace(c.trace_path_workload);
   }
   std::fprintf(stderr, "anufs-scenario: unknown workload '%s'\n",
                c.workload.c_str());
@@ -163,12 +218,14 @@ std::unique_ptr<policy::PlacementPolicy> build_policy(
 
 }  // namespace
 
-ScenarioConfig parse_scenario(std::istream& is) {
+ScenarioConfig parse_scenario(std::istream& is,
+                              const std::string& source_name) {
   ScenarioConfig config;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(is, line)) {
     ++line_no;
+    const LineCtx ctx{source_name, line_no};
     if (const auto hash_pos = line.find('#'); hash_pos != std::string::npos) {
       line.resize(hash_pos);
     }
@@ -177,73 +234,74 @@ ScenarioConfig parse_scenario(std::istream& is) {
     if (!(ss >> key)) continue;
     std::string value;
     const auto want = [&](const char* what) -> std::string& {
-      if (!(ss >> value)) config_failure(line_no, std::string("missing ") + what);
+      if (!(ss >> value)) {
+        config_failure(ctx, std::string("missing ") + what);
+      }
       return value;
     };
     if (key == "workload") {
       config.workload = want("workload kind");
       if (config.workload == "trace") {
-        config.trace_path = want("trace path");
+        config.trace_path_workload = want("trace path");
       }
     } else if (key == "policy") {
       config.policy = want("policy name");
     } else if (key == "servers") {
-      config.cluster.server_speeds = parse_speeds(want("speeds"), line_no);
+      config.cluster.server_speeds = parse_speeds(want("speeds"), ctx);
     } else if (key == "period") {
-      config.cluster.reconfig_period = std::stod(want("seconds"));
+      config.cluster.reconfig_period =
+          parse_double(want("seconds"), ctx, "period");
     } else if (key == "duration") {
-      config.duration = std::stod(want("seconds"));
+      config.duration = parse_double(want("seconds"), ctx, "duration");
     } else if (key == "requests") {
-      config.requests = std::stoull(want("count"));
+      config.requests = parse_u64(want("count"), ctx, "request count");
     } else if (key == "file_sets") {
-      config.file_sets = static_cast<std::uint32_t>(
-          std::stoul(want("count")));
+      config.file_sets = parse_u32(want("count"), ctx, "file-set count");
     } else if (key == "seed") {
-      config.seed = std::stoull(want("seed"));
+      config.seed = parse_u64(want("seed"), ctx, "seed");
       config.cluster.seed = config.seed;
     } else if (key == "san") {
-      config.cluster.san.enabled = parse_on_off(want("on|off"), line_no);
+      config.cluster.san.enabled = parse_on_off(want("on|off"), ctx);
     } else if (key == "detector") {
-      config.cluster.detector.enabled =
-          parse_on_off(want("on|off"), line_no);
+      config.cluster.detector.enabled = parse_on_off(want("on|off"), ctx);
     } else if (key == "report_loss") {
-      config.cluster.net.report_loss = std::stod(want("probability"));
+      config.cluster.net.report_loss =
+          parse_double(want("probability"), ctx, "report loss");
     } else if (key == "routing_delay") {
-      const double d = std::stod(want("seconds"));
+      const double d = parse_double(want("seconds"), ctx, "routing delay");
       config.cluster.routing.model_staleness = d > 0;
       config.cluster.routing.distribution_delay = d;
     } else if (key == "movement") {
-      config.cluster.movement.enabled =
-          parse_on_off(want("on|off"), line_no);
+      config.cluster.movement.enabled = parse_on_off(want("on|off"), ctx);
     } else if (key == "threshold") {
       const std::string v = want("value");
       if (v == "auto") {
         config.auto_threshold = true;
       } else {
-        config.threshold = std::stod(v);
+        config.threshold = parse_double(v, ctx, "threshold");
       }
     } else if (key == "max_scale") {
-      config.max_scale = std::stod(want("value"));
+      config.max_scale = parse_double(want("value"), ctx, "max_scale");
     } else if (key == "average") {
       const std::string v = want("mean|median");
       if (v == "median") {
         config.median_average = true;
       } else if (v != "mean") {
-        config_failure(line_no, "expected mean|median");
+        config_failure(ctx, "expected mean|median");
       }
     } else if (key == "fail" || key == "recover") {
       MembershipEvent e;
       e.kind = key == "fail" ? MembershipEvent::Kind::kFail
                              : MembershipEvent::Kind::kRecover;
-      e.time = std::stod(want("time"));
-      e.server = static_cast<std::uint32_t>(std::stoul(want("server")));
+      e.time = parse_double(want("time"), ctx, "time");
+      e.server = parse_u32(want("server"), ctx, "server id");
       config.events.push_back(e);
     } else if (key == "add") {
       MembershipEvent e;
       e.kind = MembershipEvent::Kind::kAdd;
-      e.time = std::stod(want("time"));
-      e.server = static_cast<std::uint32_t>(std::stoul(want("server")));
-      e.speed = std::stod(want("speed"));
+      e.time = parse_double(want("time"), ctx, "time");
+      e.server = parse_u32(want("server"), ctx, "server id");
+      e.speed = parse_double(want("speed"), ctx, "speed");
       config.events.push_back(e);
     } else if (key == "faults") {
       const fault::FaultPlan loaded = fault::load_fault_plan(want("path"));
@@ -269,7 +327,7 @@ ScenarioConfig parse_scenario(std::istream& is) {
       std::string directive;
       std::getline(ss, directive);
       if (directive.find_first_not_of(" \t") == std::string::npos) {
-        config_failure(line_no, "missing fault directive");
+        config_failure(ctx, "missing fault directive");
       }
       fault::parse_fault_directive(directive, config.faults);
     } else if (key == "emit") {
@@ -277,15 +335,28 @@ ScenarioConfig parse_scenario(std::istream& is) {
       if (v == "series") {
         config.emit_series = true;
       } else if (v != "summary") {
-        config_failure(line_no, "expected series|summary");
+        config_failure(ctx, "expected series|summary");
       }
+    } else if (key == "trace") {
+      config.trace_path = want("path");
+    } else if (key == "trace_categories") {
+      const std::string v = want("categories");
+      const std::optional<std::uint32_t> mask = obs::parse_categories(v);
+      if (!mask.has_value()) {
+        config_failure(ctx,
+                       "bad trace categories '" + v +
+                           "' (expected a comma list of delegate,tuner,"
+                           "move,cache,fault,sched or 'all')");
+      }
+      config.trace_categories = *mask;
     } else if (key == "jobs") {
-      config.jobs = static_cast<std::size_t>(std::stoul(want("count")));
-      if (config.jobs == 0) config_failure(line_no, "jobs must be >= 1");
+      config.jobs =
+          static_cast<std::size_t>(parse_u64(want("count"), ctx, "jobs"));
+      if (config.jobs == 0) config_failure(ctx, "jobs must be >= 1");
     } else if (key == "sweep") {
-      parse_sweep(want("seed=A..B"), config, line_no);
+      parse_sweep(want("seed=A..B"), config, ctx);
     } else {
-      config_failure(line_no, "unknown key '" + key + "'");
+      config_failure(ctx, "unknown key '" + key + "'");
     }
   }
   return config;
@@ -293,18 +364,36 @@ ScenarioConfig parse_scenario(std::istream& is) {
 
 ScenarioConfig parse_scenario_text(const std::string& text) {
   std::istringstream is(text);
-  return parse_scenario(is);
+  return parse_scenario(is, "<inline>");
 }
 
 namespace {
 
 cluster::RunResult run_built(const ScenarioConfig& config,
-                             std::string* policy_name) {
+                             std::string* policy_name, RunProfile* profile) {
+  // Tracing: one sink, installed for THIS thread only (a parallel sweep
+  // worker traces exactly its own run). The sink is passive — it never
+  // schedules, draws randomness, or reorders anything — so the run
+  // itself is bit-identical with tracing on or off.
+  std::optional<obs::TraceSink> sink;
+  std::optional<obs::ScopedTraceSink> installed;
+  if (!config.trace_path.empty()) {
+    sink.emplace(config.trace_categories);
+    installed.emplace(*sink);
+  }
+
+  std::optional<obs::PhaseTimer> setup_timer;
+  if (profile != nullptr) setup_timer.emplace(profile->setup);
   const workload::Workload work = build_workload(config);
   const std::unique_ptr<policy::PlacementPolicy> pol =
       build_policy(config, work);
   if (policy_name != nullptr) *policy_name = pol->name();
   cluster::ClusterSim sim(config.cluster, work, *pol);
+  if (sink.has_value()) {
+    // Stamp events with the run's own simulated clock from here on
+    // (construction-time events carry t=0, which is when they happen).
+    sink->set_clock([&sim]() { return sim.scheduler().now(); });
+  }
   for (const MembershipEvent& e : config.events) {
     switch (e.kind) {
       case MembershipEvent::Kind::kFail:
@@ -324,19 +413,48 @@ cluster::RunResult run_built(const ScenarioConfig& config,
         static_cast<std::uint32_t>(config.cluster.server_speeds.size()),
         config.faults);
   }
-  return sim.run();
+  if (setup_timer.has_value()) setup_timer->stop();
+
+  cluster::RunResult result;
+  {
+    std::optional<obs::PhaseTimer> run_timer;
+    if (profile != nullptr) run_timer.emplace(profile->run);
+    result = sim.run();
+  }
+
+  if (sink.has_value()) {
+    const obs::Registry registry =
+        collect_run_metrics(config, result, pol.get(), &*sink);
+    const std::vector<obs::TraceEvent> events = sink->events();
+    const bool ok =
+        obs::write_text_file(config.trace_path, obs::to_jsonl(events)) &&
+        obs::write_text_file(config.trace_path + ".chrome.json",
+                             obs::to_chrome_trace(events)) &&
+        obs::write_text_file(config.trace_path + ".metrics.json",
+                             obs::to_json(registry));
+    if (!ok) {
+      std::fprintf(stderr, "anufs-scenario: cannot write trace files at %s\n",
+                   config.trace_path.c_str());
+    }
+  }
+  return result;
 }
 
 }  // namespace
 
 cluster::RunResult run_scenario_quiet(const ScenarioConfig& config) {
-  return run_built(config, nullptr);
+  return run_built(config, nullptr, nullptr);
+}
+
+cluster::RunResult run_scenario_profiled(const ScenarioConfig& config,
+                                         RunProfile& profile) {
+  return run_built(config, nullptr, &profile);
 }
 
 cluster::RunResult run_scenario(const ScenarioConfig& config,
                                 std::ostream& os) {
   std::string policy_name;
-  cluster::RunResult result = run_built(config, &policy_name);
+  cluster::RunResult result = run_built(config, &policy_name, nullptr);
 
   os << "# scenario: workload=" << config.workload
      << " policy=" << policy_name << " servers="

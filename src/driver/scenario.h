@@ -28,6 +28,12 @@
 //   fault <directive...>       # one inline fault-plan directive, e.g.
 //                              #   fault limp 400 600 3 0.25
 //   emit series|summary        # output form (default summary)
+//   trace <path>               # structured trace -> <path> (JSONL),
+//                              #   <path>.chrome.json (chrome://tracing)
+//                              #   and <path>.metrics.json (registry
+//                              #   snapshot); see src/obs
+//   trace_categories a,b       # subset of delegate,tuner,move,cache,
+//                              #   fault,sched (default all)
 //   jobs 4                     # worker threads for sweeps (default 1)
 //   sweep seed=1..10           # run once per seed in 1..10 (inclusive)
 //
@@ -43,6 +49,8 @@
 
 #include "cluster/cluster_sim.h"
 #include "fault/fault_plan.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace anufs::driver {
 
@@ -55,7 +63,7 @@ struct MembershipEvent {
 
 struct ScenarioConfig {
   std::string workload = "synthetic";
-  std::string trace_path;  // workload == "trace"
+  std::string trace_path_workload;  // workload == "trace": replay input
   std::string policy = "anu";
   cluster::ClusterConfig cluster;
   // Workload shape overrides (0 = keep the workload's default).
@@ -75,6 +83,17 @@ struct ScenarioConfig {
   /// fault::install_fault_plan before the run starts.
   fault::FaultPlan faults;
   bool emit_series = false;
+  /// Observability surface (src/obs). Empty trace_path = tracing off:
+  /// every ANUFS_TRACE site reduces to a thread-local null check and
+  /// the run is bit-identical to an untraced one (enforced by
+  /// tests/trace_property_test.cpp). Non-empty: a per-run TraceSink is
+  /// installed for the run's thread and exported afterwards to
+  /// trace_path (JSONL), trace_path + ".chrome.json" (Chrome
+  /// trace_event), and trace_path + ".metrics.json" (metrics registry
+  /// snapshot). Sweeps expand to one trace file set per seed
+  /// (trace_path + ".seed<N>").
+  std::string trace_path;
+  std::uint32_t trace_categories = obs::kAllCategories;
   // Parallel sweep surface (see driver/parallel_runner.h). jobs is the
   // worker-thread count; a sweep runs the scenario once per seed in
   // [sweep_begin, sweep_end]. sweep_end == 0 means "no sweep".
@@ -84,8 +103,12 @@ struct ScenarioConfig {
   [[nodiscard]] bool is_sweep() const noexcept { return sweep_end != 0; }
 };
 
-/// Parse a scenario; aborts with a line diagnostic on malformed input.
-[[nodiscard]] ScenarioConfig parse_scenario(std::istream& is);
+/// Parse a scenario; aborts with a <source>:<line>: <token> diagnostic
+/// on malformed input (never an uncaught std::invalid_argument).
+/// `source_name` names the input in diagnostics (the file path, or
+/// "<stdin>"/"<inline>").
+[[nodiscard]] ScenarioConfig parse_scenario(
+    std::istream& is, const std::string& source_name = "<scenario>");
 
 /// Parse from a string (tests, inline configs).
 [[nodiscard]] ScenarioConfig parse_scenario_text(const std::string& text);
@@ -101,5 +124,16 @@ cluster::RunResult run_scenario(const ScenarioConfig& config,
 /// distinct configs never share state.
 [[nodiscard]] cluster::RunResult run_scenario_quiet(
     const ScenarioConfig& config);
+
+/// Where one run's wall/CPU time went, phase by phase (reported by the
+/// sweep summary; see driver/parallel_runner.h).
+struct RunProfile {
+  obs::PhaseCost setup;  ///< workload + policy + simulator construction
+  obs::PhaseCost run;    ///< the event loop itself
+};
+
+/// run_scenario_quiet with per-phase profiling into `profile`.
+[[nodiscard]] cluster::RunResult run_scenario_profiled(
+    const ScenarioConfig& config, RunProfile& profile);
 
 }  // namespace anufs::driver

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace anufs::fault {
 
 namespace {
@@ -49,22 +51,38 @@ void install_fault_plan(cluster::ClusterSim& sim,
   // ending exactly where the next begins closes before the next opens.
   for (const LimpWindow& w : sorted_by_begin(plan.limps)) {
     sched.schedule_at(w.begin, [&sim, w] {
+      ANUFS_TRACE(obs::Category::kFault, "limp_begin",
+                  {"server", w.server}, {"factor", w.factor});
       sim.set_speed_factor(ServerId{w.server}, w.factor);
     });
     sched.schedule_at(w.end, [&sim, w] {
+      ANUFS_TRACE(obs::Category::kFault, "limp_end", {"server", w.server});
       sim.set_speed_factor(ServerId{w.server}, 1.0);
     });
   }
   for (const SanSlowWindow& w : sorted_by_begin(plan.san_slowdowns)) {
-    sched.schedule_at(w.begin, [&sim, w] { sim.set_san_slowdown(w.factor); });
-    sched.schedule_at(w.end, [&sim] { sim.set_san_slowdown(1.0); });
+    sched.schedule_at(w.begin, [&sim, w] {
+      ANUFS_TRACE(obs::Category::kFault, "san_slow_begin",
+                  {"factor", w.factor});
+      sim.set_san_slowdown(w.factor);
+    });
+    sched.schedule_at(w.end, [&sim] {
+      ANUFS_TRACE(obs::Category::kFault, "san_slow_end");
+      sim.set_san_slowdown(1.0);
+    });
   }
   for (const MoveFlakyWindow& w : sorted_by_begin(plan.flaky_moves)) {
     sched.schedule_at(w.begin, [&sim, w] {
+      ANUFS_TRACE(obs::Category::kFault, "move_flaky_begin",
+                  {"probability", w.probability},
+                  {"max_retries", w.max_retries}, {"backoff", w.backoff});
       sim.set_move_fault(cluster::MoveFaultSpec{
           w.probability, w.max_retries, w.backoff});
     });
-    sched.schedule_at(w.end, [&sim] { sim.clear_move_fault(); });
+    sched.schedule_at(w.end, [&sim] {
+      ANUFS_TRACE(obs::Category::kFault, "move_flaky_end");
+      sim.clear_move_fault();
+    });
   }
 }
 

@@ -7,14 +7,28 @@
 
 namespace anufs::metrics {
 
+namespace {
+
+// Ceil-rank (nearest-rank) percentile over an ALREADY-SORTED sample.
+// The single definition both percentile() and summarize() use — they
+// previously carried two copies of the rank arithmetic, and only one
+// handled q == 0 (ceil(0 * n) == 0 must mean "the minimum", not an
+// underflowed rank).
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  ANUFS_EXPECTS(!sorted.empty());
+  if (q <= 0.0) return sorted.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank - 1, sorted.size() - 1)];
+}
+
+}  // namespace
+
 double percentile(std::vector<double> values, double q) {
   ANUFS_EXPECTS(q >= 0.0 && q <= 1.0);
   if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());
-  const auto n = static_cast<double>(values.size());
-  const auto rank = static_cast<std::size_t>(std::ceil(q * n));
-  const std::size_t idx = rank == 0 ? 0 : rank - 1;
-  return values[std::min(idx, values.size() - 1)];
+  return percentile_sorted(values, q);
 }
 
 Summary summarize(std::vector<double> values) {
@@ -37,13 +51,8 @@ Summary summarize(std::vector<double> values) {
   for (const double v : values) var += (v - s.mean) * (v - s.mean);
   s.stddev = std::sqrt(var / static_cast<double>(n));
 
-  const auto rank = [&](double q) {
-    const auto r =
-        static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
-    return values[std::min(r == 0 ? 0 : r - 1, n - 1)];
-  };
-  s.p95 = rank(0.95);
-  s.p99 = rank(0.99);
+  s.p95 = percentile_sorted(values, 0.95);
+  s.p99 = percentile_sorted(values, 0.99);
   return s;
 }
 

@@ -1,0 +1,140 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+
+namespace anufs::obs {
+
+namespace {
+
+/// Deterministic JSON number: integral doubles (the common case — ids,
+/// counts, generations) print as integers; everything else with enough
+/// digits to round-trip.
+std::string json_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) <= 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string json_string(const char* s) {
+  std::string out = "\"";
+  for (const char* p = s; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string args_object(const TraceEvent& e) {
+  std::string out = "{";
+  for (std::uint32_t i = 0; i < e.field_count; ++i) {
+    const Field& f = e.fields[i];
+    if (i != 0) out += ',';
+    out += json_string(f.key);
+    out += ':';
+    out += f.str != nullptr ? json_string(f.str) : json_number(f.num);
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string to_jsonl(const std::vector<TraceEvent>& events) {
+  std::string out;
+  for (const TraceEvent& e : events) {
+    out += "{\"t\":" + json_number(e.time);
+    out += ",\"seq\":" + json_number(static_cast<double>(e.seq));
+    out += ",\"cat\":" + json_string(category_name(e.category));
+    out += ",\"name\":" + json_string(e.name);
+    out += ",\"args\":" + args_object(e);
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",\n";
+    first = false;
+    // Simulated seconds -> trace microseconds. One timeline row per
+    // category (tid), instant events with thread scope.
+    const auto ts = static_cast<long long>(std::llround(e.time * 1e6));
+    char head[160];
+    std::snprintf(head, sizeof head,
+                  "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%u,\"ts\":%lld,",
+                  static_cast<unsigned>(e.category), ts);
+    out += head;
+    out += "\"cat\":" + json_string(category_name(e.category));
+    out += ",\"name\":" + json_string(e.name);
+    out += ",\"args\":" + args_object(e);
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string to_json(const Registry& registry) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : registry.counters()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    " + json_string(name.c_str()) + ": " +
+           json_number(static_cast<double>(c.value()));
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : registry.gauges()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    " + json_string(name.c_str()) + ": " +
+           json_number(g.value());
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : registry.histograms()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    " + json_string(name.c_str()) + ": {\"base\": " +
+           json_number(h.base()) + ", \"count\": " +
+           json_number(static_cast<double>(h.count())) + ", \"sum\": " +
+           json_number(h.sum()) + ", \"min\": " + json_number(h.min()) +
+           ", \"max\": " + json_number(h.max()) + ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+      if (i != 0) out += ',';
+      out += json_number(static_cast<double>(h.buckets()[i]));
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) return false;
+  out << content;
+  return out.good();
+}
+
+}  // namespace anufs::obs

@@ -1,0 +1,37 @@
+// Exporters for the observability layer: render a run's trace and
+// metrics snapshot to the two interchange formats we support.
+//
+//  * JSONL — one JSON object per line, the grep/jq-friendly form and
+//    the one the golden trace tests diff:
+//      {"t":60,"seq":12,"cat":"move","name":"fileset_move",
+//       "args":{"fs":3,"from":1,"to":2,"reason":"recovery"}}
+//  * Chrome trace_event JSON — load the file in chrome://tracing or
+//    https://ui.perfetto.dev to scrub through a run on a timeline.
+//    Simulated seconds map to trace microseconds, one instant event per
+//    trace record, one timeline row per category.
+//  * Metrics snapshot JSON — every counter/gauge/histogram of a
+//    Registry, in name order (deterministic byte output).
+//
+// All renderers are pure (string in-memory); write_text_file is the one
+// filesystem touch point, so tests can cover the formats without I/O.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace anufs::obs {
+
+[[nodiscard]] std::string to_jsonl(const std::vector<TraceEvent>& events);
+
+[[nodiscard]] std::string to_chrome_trace(
+    const std::vector<TraceEvent>& events);
+
+[[nodiscard]] std::string to_json(const Registry& registry);
+
+/// Write `content` to `path` (truncating). Returns false on I/O error.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace anufs::obs

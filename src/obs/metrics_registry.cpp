@@ -1,0 +1,48 @@
+#include "obs/metrics_registry.h"
+
+#include <cmath>
+
+namespace anufs::obs {
+
+Histogram::Histogram(double base, std::size_t bucket_count)
+    : base_(base), counts_(bucket_count, 0) {
+  ANUFS_EXPECTS(base > 0.0 && std::isfinite(base));
+  ANUFS_EXPECTS(bucket_count >= 3);  // underflow + >=1 band + overflow
+}
+
+std::size_t Histogram::bucket_index(double v) const {
+  if (!(v >= base_)) return 0;  // underflow; catches NaN and negatives too
+  // Integer exponent of v/base: exact for boundary values (v == base*2^k
+  // has ilogb == k precisely), unlike floor(log2(...)).
+  const int e = std::ilogb(v / base_);
+  const std::size_t band = e < 0 ? 0 : static_cast<std::size_t>(e);
+  return std::min(band + 1, counts_.size() - 1);
+}
+
+double Histogram::lower_bound(std::size_t i) const {
+  ANUFS_EXPECTS(i < counts_.size());
+  if (i == 0) return 0.0;
+  return base_ * std::ldexp(1.0, static_cast<int>(i) - 1);
+}
+
+void Histogram::record(double v) {
+  ++counts_[bucket_index(v)];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+}
+
+Histogram& Registry::histogram(const std::string& name, double base,
+                               std::size_t bucket_count) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(base, bucket_count))
+      .first->second;
+}
+
+}  // namespace anufs::obs

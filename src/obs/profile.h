@@ -1,0 +1,67 @@
+// Per-phase profiling primitives for the experiment driver: wall time
+// plus per-THREAD CPU time, so a parallel sweep can report where each
+// seed's time goes (setup vs run vs aggregate) without the phases of
+// concurrent workers polluting each other.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace anufs::obs {
+
+/// Wall + calling-thread CPU seconds for one phase of work.
+struct PhaseCost {
+  double wall = 0.0;
+  double cpu = 0.0;
+
+  PhaseCost& operator+=(const PhaseCost& other) noexcept {
+    wall += other.wall;
+    cpu += other.cpu;
+    return *this;
+  }
+};
+
+/// CPU seconds consumed by the calling thread (0.0 where the platform
+/// offers no thread clock — wall times still report).
+[[nodiscard]] inline double thread_cpu_seconds() noexcept {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return 0.0;
+}
+
+/// Measures from construction to stop() (or destruction) and adds the
+/// elapsed cost into the PhaseCost it was given. Usage:
+///   { PhaseTimer t(profile.setup); build_everything(); }
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(PhaseCost& into) noexcept
+      : into_(into),
+        wall_start_(std::chrono::steady_clock::now()),
+        cpu_start_(thread_cpu_seconds()) {}
+
+  ~PhaseTimer() { stop(); }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  void stop() noexcept {
+    if (stopped_) return;
+    stopped_ = true;
+    into_.wall += std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall_start_)
+                      .count();
+    into_.cpu += thread_cpu_seconds() - cpu_start_;
+  }
+
+ private:
+  PhaseCost& into_;
+  std::chrono::steady_clock::time_point wall_start_;
+  double cpu_start_;
+  bool stopped_ = false;
+};
+
+}  // namespace anufs::obs

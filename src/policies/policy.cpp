@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace anufs::policy {
 
 std::vector<Move> AssignmentPolicyBase::apply_assignment(
@@ -15,6 +17,8 @@ std::vector<Move> AssignmentPolicyBase::apply_assignment(
   }
   assignment_ = next;
   commit_assignment();
+  ANUFS_TRACE(obs::Category::kMove, "assignment_commit",
+              {"file_sets", next.size()}, {"moved", moves.size()});
   return moves;
 }
 

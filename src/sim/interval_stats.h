@@ -5,8 +5,10 @@
 // collected over a specified interval of time").
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
+#include "common/check.h"
 #include "sim/time.h"
 
 namespace anufs::sim {
@@ -26,6 +28,10 @@ struct IntervalSnapshot {
 class IntervalAccumulator {
  public:
   void record(SimDuration latency) {
+    // A NaN here would silently poison mean/total for the whole
+    // interval; a negative latency is a caller arithmetic bug. Fail at
+    // the source, not in the delegate's average three layers up.
+    ANUFS_EXPECTS(std::isfinite(latency) && latency >= 0.0);
     ++count_;
     total_ += latency;
     if (latency > max_) max_ = latency;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace anufs::sim {
 
 namespace {
@@ -22,6 +24,8 @@ EventId Scheduler::schedule_at(SimTime at, Handler fn) {
     slot = static_cast<std::uint32_t>(nodes_.size());
     nodes_.emplace_back();
     ++stats_.pool_allocated;
+    ANUFS_TRACE(obs::Category::kSched, "pool_grow",
+                {"slots", nodes_.size()}, {"pending", pending()});
   }
   Node& node = nodes_[slot];
   node.fn = std::move(fn);

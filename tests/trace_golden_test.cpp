@@ -1,0 +1,96 @@
+// Golden trace regression: a small faulted run's exported JSONL trace
+// and metrics snapshot, diffed byte-for-byte against checked-in
+// references. Any drift in event order, decision points, field values,
+// or serialization shows up here.
+//
+// Regenerate after an INTENDED change with
+//   ANUFS_UPDATE_GOLDEN=1 ctest -L golden
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "driver/scenario.h"
+#include "fault/fault_plan.h"
+
+#ifndef ANUFS_GOLDEN_DIR
+#error "build must define ANUFS_GOLDEN_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace anufs::driver {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(ANUFS_GOLDEN_DIR) + "/" + name + ".txt";
+}
+
+void compare_with_golden(const std::string& name,
+                         const std::string& actual) {
+  const std::string path = golden_path(name);
+  if (std::getenv("ANUFS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — regenerate with ANUFS_UPDATE_GOLDEN=1 ctest -L golden";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "output drifted from " << path
+      << " — if the change is intended, regenerate with "
+         "ANUFS_UPDATE_GOLDEN=1 ctest -L golden";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// The golden_test.cpp crash/recover/limp scenario, traced. The exported
+// files depend only on simulated time, so they are stable bytes.
+// `tag` keeps the temp files distinct: ctest runs each TEST as its own
+// process, possibly concurrently.
+ScenarioConfig traced_scenario(const std::string& tag) {
+  ScenarioConfig config = parse_scenario_text(
+      "workload synthetic\n"
+      "policy anu\n"
+      "servers 1,3,5,7,9\n"
+      "period 60\n"
+      "duration 400\n"
+      "requests 3000\n"
+      "file_sets 50\n"
+      "seed 7\n"
+      "movement on\n");
+  config.faults = fault::parse_fault_plan_text(
+      "crash 120 4\n"
+      "recover 240 4\n"
+      "limp 60 180 1 0.5\n");
+  config.trace_path = testing::TempDir() + "trace_golden_" + tag + ".jsonl";
+  return config;
+}
+
+TEST(GoldenObsTrace, AnuCrashRecoverLimpJsonl) {
+  const ScenarioConfig config = traced_scenario("jsonl");
+  (void)run_scenario_quiet(config);
+  compare_with_golden("trace_anu_crash_recover.jsonl",
+                      slurp(config.trace_path));
+}
+
+TEST(GoldenObsTrace, AnuCrashRecoverLimpMetrics) {
+  const ScenarioConfig config = traced_scenario("metrics");
+  (void)run_scenario_quiet(config);
+  compare_with_golden("trace_anu_crash_recover.metrics",
+                      slurp(config.trace_path + ".metrics.json"));
+}
+
+}  // namespace
+}  // namespace anufs::driver

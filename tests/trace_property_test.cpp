@@ -1,0 +1,126 @@
+// The observability layer's core promise, re-proven per build: tracing
+// NEVER changes results. A traced run is bit-identical to an untraced
+// one, sweeps stay bit-identical at any --jobs count with tracing on,
+// and the per-seed trace files themselves are byte-identical however
+// the seeds were scheduled onto workers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/parallel_runner.h"
+#include "driver/scenario.h"
+#include "fault/fault_plan.h"
+#include "obs/trace.h"
+
+namespace anufs::driver {
+namespace {
+
+ScenarioConfig base_scenario() {
+  ScenarioConfig config = parse_scenario_text(
+      "workload synthetic\n"
+      "policy anu\n"
+      "servers 1,3,5,7,9\n"
+      "period 60\n"
+      "duration 400\n"
+      "requests 3000\n"
+      "file_sets 50\n"
+      "seed 7\n"
+      "movement on\n");
+  config.faults = fault::parse_fault_plan_text(
+      "crash 120 4\n"
+      "recover 240 4\n"
+      "limp 60 180 1 0.5\n");
+  return config;
+}
+
+void expect_identical(const cluster::RunResult& a,
+                      const cluster::RunResult& b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.total_requests, b.total_requests);
+  EXPECT_EQ(a.lost, b.lost);
+  EXPECT_EQ(a.moves, b.moves);
+  EXPECT_EQ(a.crash_moves, b.crash_moves);
+  EXPECT_EQ(a.move_failures, b.move_failures);
+  EXPECT_EQ(a.queued_at_end, b.queued_at_end);
+  EXPECT_EQ(a.held_at_end, b.held_at_end);
+  EXPECT_EQ(a.in_transit_at_end, b.in_transit_at_end);
+  EXPECT_EQ(a.engine.fired, b.engine.fired);
+  // Exact equality: identical event order must give identical floats.
+  EXPECT_EQ(a.mean_latency, b.mean_latency);
+  EXPECT_EQ(a.server_completed, b.server_completed);
+  EXPECT_EQ(a.server_busy, b.server_busy);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(TraceProperty, AmbientSinkDoesNotPerturbTheRun) {
+  const ScenarioConfig config = base_scenario();
+  const cluster::RunResult untraced = run_scenario_quiet(config);
+  obs::TraceSink sink;
+  cluster::RunResult traced;
+  {
+    obs::ScopedTraceSink install(sink);
+    traced = run_scenario_quiet(config);
+  }
+  expect_identical(untraced, traced);
+  // ...and the run actually hit the instrumented decision points.
+  EXPECT_GT(sink.recorded(), 0u);
+}
+
+TEST(TraceProperty, FileExportingRunIsBitIdentical) {
+  const ScenarioConfig plain = base_scenario();
+  ScenarioConfig traced = plain;
+  traced.trace_path = testing::TempDir() + "trace_prop_single.jsonl";
+  expect_identical(run_scenario_quiet(plain), run_scenario_quiet(traced));
+  EXPECT_FALSE(slurp(traced.trace_path).empty());
+}
+
+TEST(TraceProperty, TracedSweepIsJobsInvariant) {
+  ScenarioConfig config = base_scenario();
+  config.sweep_begin = 1;
+  config.sweep_end = 4;
+  config.trace_path = testing::TempDir() + "trace_prop_j1.jsonl";
+  const std::vector<ScenarioConfig> runs1 = expand_sweep(config);
+  config.trace_path = testing::TempDir() + "trace_prop_j4.jsonl";
+  const std::vector<ScenarioConfig> runs4 = expand_sweep(config);
+
+  const std::vector<cluster::RunResult> serial = run_parallel(runs1, 1);
+  const std::vector<cluster::RunResult> parallel = run_parallel(runs4, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("seed " + std::to_string(runs1[i].seed));
+    expect_identical(serial[i], parallel[i]);
+    // The trace each seed wrote is the same bytes regardless of which
+    // worker thread ran it or in what order.
+    const std::string a = slurp(runs1[i].trace_path);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, slurp(runs4[i].trace_path));
+    EXPECT_EQ(slurp(runs1[i].trace_path + ".metrics.json"),
+              slurp(runs4[i].trace_path + ".metrics.json"));
+  }
+}
+
+TEST(TraceProperty, SweepExpansionGivesEachSeedItsOwnTraceFile) {
+  ScenarioConfig config = base_scenario();
+  config.sweep_begin = 2;
+  config.sweep_end = 4;
+  config.trace_path = "base.jsonl";
+  const std::vector<ScenarioConfig> runs = expand_sweep(config);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].trace_path, "base.jsonl.seed2");
+  EXPECT_EQ(runs[1].trace_path, "base.jsonl.seed3");
+  EXPECT_EQ(runs[2].trace_path, "base.jsonl.seed4");
+}
+
+}  // namespace
+}  // namespace anufs::driver

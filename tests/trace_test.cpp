@@ -1,0 +1,228 @@
+// Unit tests for the observability layer (src/obs): category parsing,
+// the trace ring buffer and macro, histogram bucket boundaries, and the
+// deterministic export formats.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace anufs::obs {
+namespace {
+
+// ---- category parsing -----------------------------------------------------
+
+TEST(TraceCategories, ParseSingleAndCsv) {
+  EXPECT_EQ(parse_categories("move"),
+            std::optional<std::uint32_t>(
+                static_cast<std::uint32_t>(Category::kMove)));
+  EXPECT_EQ(parse_categories("delegate,tuner"),
+            std::optional<std::uint32_t>(
+                static_cast<std::uint32_t>(Category::kDelegate) |
+                static_cast<std::uint32_t>(Category::kTuner)));
+}
+
+TEST(TraceCategories, AllAndEmptySelectEverything) {
+  EXPECT_EQ(parse_categories("all"), std::optional<std::uint32_t>(kAllCategories));
+  EXPECT_EQ(parse_categories(""), std::optional<std::uint32_t>(kAllCategories));
+}
+
+TEST(TraceCategories, UnknownNameRejected) {
+  EXPECT_FALSE(parse_categories("bogus").has_value());
+  EXPECT_FALSE(parse_categories("move,bogus").has_value());
+}
+
+TEST(TraceCategories, EveryCategoryRoundTrips) {
+  for (const Category c :
+       {Category::kDelegate, Category::kTuner, Category::kMove,
+        Category::kCache, Category::kFault, Category::kSched}) {
+    const auto mask = parse_categories(category_name(c));
+    ASSERT_TRUE(mask.has_value()) << category_name(c);
+    EXPECT_EQ(*mask, static_cast<std::uint32_t>(c));
+  }
+}
+
+// ---- sink + macro ---------------------------------------------------------
+
+TEST(TraceSinkTest, MacroIsInertWithoutSink) {
+  ASSERT_EQ(current_sink(), nullptr);
+  // Must not crash, allocate a sink, or evaluate into anything.
+  ANUFS_TRACE(Category::kMove, "noop", {"x", 1});
+  EXPECT_EQ(current_sink(), nullptr);
+}
+
+TEST(TraceSinkTest, RecordsThroughMacroWithFieldsAndWithout) {
+  TraceSink sink;
+  ScopedTraceSink install(sink);
+  ANUFS_TRACE(Category::kMove, "with_fields", {"fs", 3}, {"why", "test"});
+  ANUFS_TRACE(Category::kFault, "bare");
+  const std::vector<TraceEvent> events = sink.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(std::string(events[0].name), "with_fields");
+  ASSERT_EQ(events[0].field_count, 2u);
+  EXPECT_EQ(std::string(events[0].fields[0].key), "fs");
+  EXPECT_EQ(events[0].fields[0].num, 3.0);
+  EXPECT_EQ(std::string(events[0].fields[1].str), "test");
+  EXPECT_EQ(events[1].field_count, 0u);
+}
+
+TEST(TraceSinkTest, MaskFiltersCategories) {
+  TraceSink sink(static_cast<std::uint32_t>(Category::kMove));
+  ScopedTraceSink install(sink);
+  ANUFS_TRACE(Category::kMove, "kept");
+  ANUFS_TRACE(Category::kTuner, "filtered");
+  ASSERT_EQ(sink.recorded(), 1u);
+  EXPECT_EQ(std::string(sink.events()[0].name), "kept");
+}
+
+TEST(TraceSinkTest, RingOverflowKeepsNewestAndCountsDropped) {
+  TraceSink sink(kAllCategories, 4);
+  ScopedTraceSink install(sink);
+  for (int i = 0; i < 6; ++i) {
+    ANUFS_TRACE(Category::kSched, "e", {"i", i});
+  }
+  EXPECT_EQ(sink.recorded(), 6u);
+  EXPECT_EQ(sink.dropped(), 2u);
+  const std::vector<TraceEvent> events = sink.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first, and the two oldest were overwritten.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, i + 2);
+    EXPECT_EQ(events[i].fields[0].num, static_cast<double>(i + 2));
+  }
+}
+
+TEST(TraceSinkTest, ClockStampsEvents) {
+  TraceSink sink;
+  double now = 0.0;
+  sink.set_clock([&now] { return now; });
+  ScopedTraceSink install(sink);
+  now = 1.5;
+  ANUFS_TRACE(Category::kMove, "a");
+  now = 2.5;
+  ANUFS_TRACE(Category::kMove, "b");
+  const std::vector<TraceEvent> events = sink.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].time, 1.5);
+  EXPECT_EQ(events[1].time, 2.5);
+}
+
+TEST(TraceSinkTest, ScopedInstallRestoresPrevious) {
+  TraceSink outer;
+  ScopedTraceSink a(outer);
+  EXPECT_EQ(current_sink(), &outer);
+  {
+    TraceSink inner;
+    ScopedTraceSink b(inner);
+    EXPECT_EQ(current_sink(), &inner);
+  }
+  EXPECT_EQ(current_sink(), &outer);
+}
+
+// ---- histogram bucket boundaries ------------------------------------------
+
+TEST(HistogramTest, BucketLayoutForBaseOne) {
+  // base 1, 5 buckets: [0,1) [1,2) [2,4) [4,8) [8,inf).
+  const Histogram h(1.0, 5);
+  EXPECT_EQ(h.bucket_index(0.0), 0u);
+  EXPECT_EQ(h.bucket_index(0.999), 0u);
+  EXPECT_EQ(h.bucket_index(1.0), 1u);  // boundary opens its bucket
+  EXPECT_EQ(h.bucket_index(1.999), 1u);
+  EXPECT_EQ(h.bucket_index(2.0), 2u);
+  EXPECT_EQ(h.bucket_index(3.999), 2u);
+  EXPECT_EQ(h.bucket_index(4.0), 3u);
+  EXPECT_EQ(h.bucket_index(7.999), 3u);
+  EXPECT_EQ(h.bucket_index(8.0), 4u);
+  EXPECT_EQ(h.bucket_index(1e12), 4u);  // overflow bucket is terminal
+}
+
+TEST(HistogramTest, ExactBoundariesWithFractionalBase) {
+  const Histogram h;  // base 1e-3, 40 buckets
+  // Every boundary base*2^k must land in the bucket it OPENS, even
+  // though base is not exactly representable scaled by powers of two.
+  for (std::size_t i = 1; i + 1 < h.buckets().size(); ++i) {
+    EXPECT_EQ(h.bucket_index(h.lower_bound(i)), i) << "bucket " << i;
+  }
+  EXPECT_EQ(h.bucket_index(0.5e-3), 0u);
+  EXPECT_EQ(h.bucket_index(1e-3), 1u);
+}
+
+TEST(HistogramTest, LowerBoundsArePowersOfTwoTimesBase) {
+  const Histogram h(1.0, 6);
+  EXPECT_EQ(h.lower_bound(0), 0.0);
+  EXPECT_EQ(h.lower_bound(1), 1.0);
+  EXPECT_EQ(h.lower_bound(2), 2.0);
+  EXPECT_EQ(h.lower_bound(3), 4.0);
+  EXPECT_EQ(h.lower_bound(4), 8.0);
+  EXPECT_EQ(h.lower_bound(5), 16.0);
+}
+
+TEST(HistogramTest, NegativeAndSubBaseGoToUnderflow) {
+  Histogram h(1.0, 4);
+  h.record(-3.0);
+  h.record(0.25);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(HistogramTest, SummaryStats) {
+  Histogram h(1.0, 5);
+  h.record(1.0);
+  h.record(3.0);
+  h.record(8.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 12.0);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 8.0);
+  EXPECT_EQ(h.mean(), 4.0);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.buckets()[4], 1u);
+}
+
+// ---- exporters ------------------------------------------------------------
+
+TEST(ExportTest, JsonlRendersOneEventPerLine) {
+  TraceSink sink;
+  double now = 60.0;
+  sink.set_clock([&now] { return now; });
+  ScopedTraceSink install(sink);
+  ANUFS_TRACE(Category::kMove, "fileset_move", {"fs", 3}, {"from", 1},
+              {"to", 2}, {"reason", "recovery"});
+  const std::string jsonl = to_jsonl(sink.events());
+  EXPECT_EQ(jsonl,
+            "{\"t\":60,\"seq\":0,\"cat\":\"move\",\"name\":\"fileset_move\","
+            "\"args\":{\"fs\":3,\"from\":1,\"to\":2,\"reason\":\"recovery\"}}"
+            "\n");
+}
+
+TEST(ExportTest, ChromeTraceIsWellFormedInstantEvents) {
+  TraceSink sink;
+  ScopedTraceSink install(sink);
+  ANUFS_TRACE(Category::kTuner, "scale", {"server", 4});
+  const std::string chrome = to_chrome_trace(sink.events());
+  EXPECT_NE(chrome.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"cat\":\"tuner\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+TEST(ExportTest, RegistrySnapshotIsNameOrdered) {
+  Registry reg;
+  reg.counter("zebra").set(1);
+  reg.counter("apple").set(2);
+  reg.gauge("mid").set(0.5);
+  const std::string json = to_json(reg);
+  const auto apple = json.find("\"apple\"");
+  const auto zebra = json.find("\"zebra\"");
+  ASSERT_NE(apple, std::string::npos);
+  ASSERT_NE(zebra, std::string::npos);
+  EXPECT_LT(apple, zebra);
+  EXPECT_NE(json.find("\"mid\": 0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anufs::obs

@@ -7,12 +7,21 @@
 //                                          # replay a fault-injection plan
 //   ./anufs_sim --jobs 4 --sweep seed=1..10 scenario.conf
 //                                          # 10 seeds on 4 worker threads
+//   ./anufs_sim --trace run.jsonl scenario.conf
+//                                          # structured trace: run.jsonl,
+//                                          # run.jsonl.chrome.json (open in
+//                                          # chrome://tracing / Perfetto),
+//                                          # run.jsonl.metrics.json
 //
 // --jobs and --sweep override the corresponding config keys; --jobs 0
 // means "auto" (one worker per hardware thread). A sweep
 // runs the scenario once per seed and reports per-seed rows plus
 // mean +/- stddev aggregates; results are independent of --jobs (each
 // run owns its own scheduler and RNG streams).
+//
+// --trace and --trace-categories override the `trace`/`trace_categories`
+// config keys. Tracing never changes results: a traced run is
+// bit-identical to an untraced one.
 //
 // --faults REPLACES any fault plan from the config with the file's
 // (crashes, recoveries, limping windows, SAN degradation, flaky moves —
@@ -54,6 +63,8 @@ add 3600 5 9.0
 # fault limp 600 900 1 0.25    # inline fault-plan directives...
 # faults plan.flt              # ...or a full plan file (--faults overrides)
 emit summary              # summary | series
+# trace run.jsonl         # structured trace + chrome trace + metrics
+# trace_categories all    # delegate,tuner,move,cache,fault,sched
 # jobs 4                  # worker threads for sweeps
 # sweep seed=1..10        # run once per seed, aggregate mean +/- stddev
 )";
@@ -61,6 +72,7 @@ emit summary              # summary | series
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--jobs N] [--sweep seed=A..B] [--faults plan] "
+               "[--trace out.jsonl] [--trace-categories a,b] "
                "<scenario.conf | - | --example>\n",
                argv0);
   std::exit(2);
@@ -73,6 +85,8 @@ int main(int argc, char** argv) {
   std::size_t jobs_override = 0;
   std::string sweep_override;
   std::string faults_override;
+  std::string trace_override;
+  std::string categories_override;
   const char* input = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--example") == 0) {
@@ -95,6 +109,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       if (++i >= argc) usage(argv[0]);
       faults_override = argv[i];
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (++i >= argc) usage(argv[0]);
+      trace_override = argv[i];
+    } else if (std::strcmp(argv[i], "--trace-categories") == 0) {
+      if (++i >= argc) usage(argv[0]);
+      categories_override = argv[i];
     } else if (input == nullptr) {
       input = argv[i];
     } else {
@@ -105,14 +125,14 @@ int main(int argc, char** argv) {
 
   anufs::driver::ScenarioConfig config;
   if (std::strcmp(input, "-") == 0) {
-    config = anufs::driver::parse_scenario(std::cin);
+    config = anufs::driver::parse_scenario(std::cin, "<stdin>");
   } else {
     std::ifstream in(input);
     if (!in.good()) {
       std::fprintf(stderr, "cannot open %s\n", input);
       return 2;
     }
-    config = anufs::driver::parse_scenario(in);
+    config = anufs::driver::parse_scenario(in, input);
   }
   if (!sweep_override.empty()) {
     // Reuse the config parser so the flag and the config key accept
@@ -125,6 +145,16 @@ int main(int argc, char** argv) {
   if (jobs_set) config.jobs = jobs_override;
   if (!faults_override.empty()) {
     config.faults = anufs::fault::load_fault_plan(faults_override);
+  }
+  if (!trace_override.empty()) config.trace_path = trace_override;
+  if (!categories_override.empty()) {
+    const auto mask = anufs::obs::parse_categories(categories_override);
+    if (!mask.has_value()) {
+      std::fprintf(stderr, "bad --trace-categories '%s'\n",
+                   categories_override.c_str());
+      return 2;
+    }
+    config.trace_categories = *mask;
   }
 
   if (config.is_sweep()) {
