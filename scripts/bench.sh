@@ -13,6 +13,13 @@
 #   ./scripts/bench.sh --out /tmp/b.json        # alternate output path
 #   ./scripts/bench.sh --baseline-bin OLD_SIM   # also record sweep speedup
 #   ./scripts/bench.sh --quick                  # smoke settings (CI)
+#   ./scripts/bench.sh --control-plane          # re-measure only the
+#                                               # control-plane group
+#                                               # (BM_Retune/{64,512,4096},
+#                                               # BM_RetuneChanged, rebalance,
+#                                               # churn) and merge it into an
+#                                               # existing BENCH_core.json
+#                                               # without re-running the sweep
 #
 # The sweep scenario is fixed (synthetic workload, 5 heterogeneous
 # servers, membership churn, 30 seeds, --jobs 1) so successive snapshots
@@ -28,14 +35,83 @@ OUT="$ROOT/BENCH_core.json"
 BASELINE_BIN=""
 MIN_TIME=0.5
 SWEEP="seed=1..30"
+CONTROL_ONLY=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --out) OUT="$2"; shift 2 ;;
     --baseline-bin) BASELINE_BIN="$2"; shift 2 ;;
     --quick) MIN_TIME=0.05; SWEEP="seed=1..5"; shift ;;
+    --control-plane) CONTROL_ONLY=1; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
+
+# jq fragment shared by both modes: google-benchmark JSON -> name-keyed
+# map, plus the control-plane summary group. BM_Retune is the
+# steady-state (unchanged-round) path, BM_RetuneChanged the forced full
+# recompute; the 512/64 ratio is the scaling check — the old full walk
+# put it near 20x (tree constants on top of 8x servers), the memo's
+# bitwise compare keeps it at the ~6-7x of pure memory bandwidth.
+JQ_BENCH='
+  ($micro[0].benchmarks | map({(.name): {time_ns: .real_time,
+                                         cpu_ns: .cpu_time,
+                                         hit_rate: (.hit_rate // null)}})
+     | add) as $bench |
+  {
+    retune_ns: {
+      "64":   $bench["BM_Retune/64"].time_ns,
+      "512":  $bench["BM_Retune/512"].time_ns,
+      "4096": $bench["BM_Retune/4096"].time_ns
+    },
+    retune_changed_ns: {
+      "64":   $bench["BM_RetuneChanged/64"].time_ns,
+      "512":  $bench["BM_RetuneChanged/512"].time_ns,
+      "4096": $bench["BM_RetuneChanged/4096"].time_ns
+    },
+    retune_512_over_64:
+      (if $bench["BM_Retune/64"] then
+         ($bench["BM_Retune/512"].time_ns / $bench["BM_Retune/64"].time_ns)
+       else null end),
+    membership_churn_ns: {
+      "5":  $bench["BM_MembershipChurn/5"].time_ns,
+      "64": $bench["BM_MembershipChurn/64"].time_ns
+    }
+  } as $control |
+'
+
+if [ "$CONTROL_ONLY" -eq 1 ]; then
+  echo "== build: default (micro_core only)"
+  cmake --preset default >/dev/null
+  cmake --build --preset default \
+    -j "${ANUFS_JOBS:-$(nproc 2>/dev/null || echo 2)}" \
+    --target micro_core >/dev/null
+  MICRO="$ROOT/build/bench/micro_core"
+  echo "== micro (control-plane group): $MICRO (min_time=${MIN_TIME}s)"
+  MICRO_JSON="$(mktemp)"
+  "$MICRO" --benchmark_format=json --benchmark_min_time="$MIN_TIME" \
+    --benchmark_filter='BM_Retune|BM_RetuneChanged|BM_Rebalance|BM_MembershipChurn' \
+    >"$MICRO_JSON" 2>/dev/null
+  BASE='{"schema":"anufs-bench-v1"}'
+  if [ -f "$OUT" ]; then BASE="$(cat "$OUT")"; fi
+  TMP="$(mktemp)"
+  jq -n \
+    --slurpfile micro "$MICRO_JSON" \
+    --argjson base "$BASE" \
+    --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    --arg commit "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    "$JQ_BENCH"'
+    $base * {
+      recorded_at: $date,
+      commit: $commit,
+      micro: (($base.micro // {}) + $bench),
+      control_plane: $control
+    }' >"$TMP"
+  mv "$TMP" "$OUT"
+  rm -f "$MICRO_JSON"
+  echo "== merged control-plane group into $OUT"
+  jq '.control_plane' "$OUT"
+  exit 0
+fi
 
 echo "== build: default"
 cmake --preset default >/dev/null
@@ -103,11 +179,7 @@ jq -n \
   --arg baseline_engine "$BASELINE_ENGINE" \
   --argjson sweep_seconds "$SWEEP_SECONDS" \
   --argjson baseline_seconds "$BASELINE_SECONDS" \
-  '
-  ($micro[0].benchmarks | map({(.name): {time_ns: .real_time,
-                                         cpu_ns: .cpu_time,
-                                         hit_rate: (.hit_rate // null)}})
-     | add) as $bench |
+  "$JQ_BENCH"'
   {
     schema: "anufs-bench-v1",
     recorded_at: $date,
@@ -121,6 +193,7 @@ jq -n \
       scheduler_events_per_sec: (
         1e9 / $bench["BM_SchedulerThroughput"].time_ns)
     },
+    control_plane: $control,
     sweep: {
       scenario: "synthetic anu 5-server churn",
       sweep: $sweep,

@@ -13,6 +13,11 @@
 #   trace-smoke  run anufs_sim --trace on a tiny scenario (default
 #             preset's build) and validate the exported JSONL against
 #             scripts/check_trace_schema.py
+#   retune-smoke  replay the 64-server retune-equivalence property
+#             (incremental control plane bit-identical to the full
+#             walk, auditor forced on) from the default preset's build
+#             — a fast tripwire for anyone touching the tuner or
+#             region map without running the full property suite
 #
 # Tests carry ctest labels (unit | property | golden | stress; see
 # tests/CMakeLists.txt). default and sanitize run every label; the tsan
@@ -44,7 +49,7 @@ for arg in "$@"; do
   fi
 done
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(default trace-smoke sanitize tsan lint)
+  STAGES=(default trace-smoke retune-smoke sanitize tsan lint)
 fi
 
 for stage in "${STAGES[@]}"; do
@@ -69,6 +74,19 @@ for stage in "${STAGES[@]}"; do
     python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$TRACE_OUT.chrome.json"
     python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$TRACE_OUT.metrics.json"
     rm -rf "$(dirname "$TRACE_OUT")"
+    continue
+  fi
+  if [ "$stage" = retune-smoke ]; then
+    # Needs the default preset built (runs after `default` in the full
+    # gate; standalone invocations build the one test on demand).
+    echo "== retune-smoke"
+    if [ ! -x build/tests/retune_equivalence_test ]; then
+      cmake --preset default
+      cmake --build --preset default -j "$JOBS" \
+        --target retune_equivalence_test
+    fi
+    ANUFS_AUDIT=1 build/tests/retune_equivalence_test \
+      --gtest_filter='RetuneEquivalence.IncrementalMatchesFullWalkAt64'
     continue
   fi
   echo "== configure: $stage"

@@ -6,7 +6,8 @@ t/seq/cat/name/args shape and a known category. Usage:
 import json
 import sys
 
-CATEGORIES = {"delegate", "tuner", "move", "cache", "fault", "sched"}
+CATEGORIES = {"delegate", "tuner", "move", "cache", "fault", "sched",
+              "control"}
 
 
 def fail(line_no, why):

@@ -1,6 +1,7 @@
 #include "core/anu_system.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/check.h"
 #include "core/invariant_auditor.h"
@@ -83,16 +84,36 @@ TuneDecision AnuSystem::reconfigure(const std::vector<ServerReport>& reports) {
               {"avg_ms", decision.system_average * 1e3},
               {"scaled", decision.explicitly_scaled.size()},
               {"acted", decision.acted ? 1 : 0}, {"version", version_});
+  std::uint32_t touched = 0;
   if (decision.acted) {
-    placement_.regions().rebalance_to(decision.targets);
+    touched = placement_.regions().rebalance_to(decision.targets);
+    ++control_stats_.rounds_acted;
     ++version_;
   }
+  ++control_stats_.rounds;
+  note_touched(touched);
+  ANUFS_TRACE(obs::Category::kControl, "retune_touched",
+              {"touched", touched}, {"servers", reports.size()},
+              {"acted", decision.acted ? 1 : 0}, {"version", version_});
   check_invariants();
   detail::maybe_audit(*this);
   return decision;
 }
 
-void AnuSystem::restore_half_occupancy() {
+void AnuSystem::note_touched(std::uint32_t touched) {
+  control_stats_.last_touched = touched;
+  control_stats_.touched_total += touched;
+  control_stats_.max_touched =
+      std::max(control_stats_.max_touched, touched);
+  const std::size_t bucket =
+      touched == 0
+          ? 0
+          : std::min<std::size_t>(std::bit_width(touched),
+                                  control_stats_.touched_log2.size() - 1);
+  ++control_stats_.touched_log2[bucket];
+}
+
+std::uint32_t AnuSystem::restore_half_occupancy() {
   RegionMap& regions = placement_.regions();
   const std::vector<ServerId> ids = regions.server_ids();
   ANUFS_EXPECTS(!ids.empty());
@@ -105,8 +126,9 @@ void AnuSystem::restore_half_occupancy() {
   for (std::size_t i = 0; i < ids.size(); ++i) {
     targets.emplace_back(ids[i], shares[i]);
   }
-  regions.rebalance_to(targets);
+  const std::uint32_t touched = regions.rebalance_to(targets);
   ANUFS_ENSURES(regions.total_share() == kHalfInterval);
+  return touched;
 }
 
 void AnuSystem::fail_server(ServerId id) {
@@ -117,8 +139,12 @@ void AnuSystem::fail_server(ServerId id) {
   // Survivors grow in proportion to their current shares: their existing
   // regions are untouched (cache preservation); only the failed measure
   // is re-homed.
-  restore_half_occupancy();
+  const std::uint32_t touched = restore_half_occupancy() + 1;  // +1: `id`
+  ++control_stats_.membership_events;
+  note_touched(touched);
   ++version_;
+  ANUFS_TRACE(obs::Category::kControl, "fail_touched", {"touched", touched},
+              {"survivors", regions.server_count()}, {"version", version_});
   ANUFS_TRACE(obs::Category::kDelegate, "fail_server", {"server", id.value},
               {"survivors", regions.server_count()}, {"version", version_});
   check_invariants();
@@ -154,9 +180,13 @@ void AnuSystem::add_server(ServerId id) {
   for (std::size_t i = 0; i < others.size(); ++i) {
     targets.emplace_back(others[i], shares[i]);
   }
-  regions.rebalance_to(targets);
+  const std::uint32_t touched = regions.rebalance_to(targets);
   ANUFS_ENSURES(regions.total_share() == kHalfInterval);
+  ++control_stats_.membership_events;
+  note_touched(touched);
   ++version_;
+  ANUFS_TRACE(obs::Category::kControl, "add_touched", {"touched", touched},
+              {"servers", regions.server_count()}, {"version", version_});
   ANUFS_TRACE(obs::Category::kDelegate, "add_server", {"server", id.value},
               {"servers", regions.server_count()},
               {"partitions", regions.space().count()},

@@ -9,6 +9,7 @@
 // growth demands it.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -32,6 +33,25 @@ struct AnuConfig {
   TunerConfig tuner;           ///< used in kCentralizedDelegate mode
   PairwiseConfig pairwise;     ///< used in kDecentralizedPairwise mode
   TunerMode mode = TunerMode::kCentralizedDelegate;
+};
+
+/// Per-mutation cost accounting for the O(changed) contract: how many
+/// servers each applied reconfiguration or membership event actually
+/// reshaped (the count RegionMap::rebalance_to reports). A healthy
+/// steady state shows most rounds in the 0 bucket — the scalability
+/// claim is that control-plane work tracks these counts, not n.
+struct ControlPlaneStats {
+  std::uint64_t rounds = 0;             ///< reconfigure() calls
+  std::uint64_t rounds_acted = 0;       ///< rounds that applied a rebalance
+  std::uint64_t membership_events = 0;  ///< fail_server/add_server calls
+  std::uint64_t touched_total = 0;      ///< servers reshaped, cumulative
+  std::uint32_t last_touched = 0;       ///< servers reshaped by last mutation
+  std::uint32_t max_touched = 0;
+  /// Log2 buckets of per-mutation touched counts: bucket 0 counts
+  /// zero-touch mutations, bucket i counts 2^(i-1) <= touched < 2^i
+  /// (the last bucket absorbs everything larger). Harvested into the
+  /// metrics registry as a mergeable histogram by driver/run_metrics.
+  std::array<std::uint64_t, 16> touched_log2{};
 };
 
 class AnuSystem {
@@ -105,11 +125,19 @@ class AnuSystem {
   /// load (tuning rounds that acted, failures, additions).
   [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
 
+  [[nodiscard]] const ControlPlaneStats& control_plane_stats() const noexcept {
+    return control_stats_;
+  }
+
   void check_invariants() const { placement_.regions().check_invariants(); }
 
  private:
   /// Proportionally rescale all servers so shares sum to exactly 1/2.
-  void restore_half_occupancy();
+  /// Returns how many servers changed shape.
+  std::uint32_t restore_half_occupancy();
+
+  /// Fold one mutation's touched-server count into the stats/histogram.
+  void note_touched(std::uint32_t touched);
 
   AnuConfig config_;
   PlacementMap placement_;
@@ -117,6 +145,7 @@ class AnuSystem {
   PairwiseTuner pairwise_;
   mutable PlacementCache cache_;
   std::uint64_t version_ = 0;
+  ControlPlaneStats control_stats_;
 };
 
 }  // namespace anufs::core

@@ -10,6 +10,26 @@ namespace anufs::core {
 
 using hash::kHalfInterval;
 
+namespace {
+
+// One round's per-server working state, sorted by id for binary-search
+// lookups during the exchange loop.
+struct Entry {
+  ServerId id;
+  const ServerReport* report = nullptr;
+  Measure target = 0;
+};
+
+Entry& entry_of(std::vector<Entry>& entries, ServerId id) {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), id,
+      [](const Entry& e, ServerId key) { return e.id < key; });
+  ANUFS_ENSURES(it != entries.end() && it->id == id);
+  return *it;
+}
+
+}  // namespace
+
 PairwiseTuner::PairwiseTuner(PairwiseConfig config) : config_(config) {
   ANUFS_EXPECTS(config.tolerance >= 0.0);
   ANUFS_EXPECTS(config.max_scale > 1.0);
@@ -29,6 +49,19 @@ std::vector<ServerId> PairwiseTuner::matching(
   return alive;
 }
 
+const double* PairwiseTuner::prev_latency_of(ServerId id) const {
+  const auto it = std::lower_bound(prev_ids_.begin(), prev_ids_.end(), id);
+  if (it == prev_ids_.end() || *it != id) return nullptr;
+  return &prev_lat_[static_cast<std::size_t>(it - prev_ids_.begin())];
+}
+
+void PairwiseTuner::forget(ServerId id) {
+  const auto it = std::lower_bound(prev_ids_.begin(), prev_ids_.end(), id);
+  if (it == prev_ids_.end() || *it != id) return;
+  prev_lat_.erase(prev_lat_.begin() + (it - prev_ids_.begin()));
+  prev_ids_.erase(it);
+}
+
 TuneDecision PairwiseTuner::retune(const std::vector<ServerReport>& reports,
                                    const RegionMap& regions) {
   ANUFS_EXPECTS(!reports.empty());
@@ -38,22 +71,35 @@ TuneDecision PairwiseTuner::retune(const std::vector<ServerReport>& reports,
   decision.system_average =
       LatencyTuner::system_average(reports, AverageKind::kWeightedMean);
 
-  std::map<ServerId, const ServerReport*> by_id;
+  std::vector<Entry> entries;
+  entries.reserve(reports.size());
   std::vector<ServerId> alive;
+  alive.reserve(reports.size());
   for (const ServerReport& r : reports) {
-    by_id[r.id] = &r;
+    entries.push_back(Entry{r.id, &r, 0});
     alive.push_back(r.id);
   }
-
-  std::map<ServerId, Measure> target;
-  for (const ServerId id : alive) target[id] = regions.share(id);
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& x, const Entry& y) { return x.id < y.id; });
+  // Duplicate ids (never produced by AnuSystem): keep the LAST report,
+  // matching the former std::map's insert-or-assign.
+  auto out = entries.begin();
+  for (auto it = entries.begin(); it != entries.end(); ++it) {
+    if (out != entries.begin() && (out - 1)->id == it->id) {
+      *(out - 1) = *it;
+    } else {
+      *out++ = *it;
+    }
+  }
+  entries.erase(out, entries.end());
+  for (Entry& e : entries) e.target = regions.share(e.id);
 
   const std::vector<ServerId> order = matching(round_, alive);
   ++round_;
 
   for (std::size_t k = 0; k + 1 < order.size(); k += 2) {
-    const ServerReport& a = *by_id.at(order[k]);
-    const ServerReport& b = *by_id.at(order[k + 1]);
+    const ServerReport& a = *entry_of(entries, order[k]).report;
+    const ServerReport& b = *entry_of(entries, order[k + 1]).report;
     // Identify hot and cold within the pair. Idle servers (no samples)
     // count as cold with latency 0 and can only RECEIVE measure.
     const ServerReport& hot = a.mean_latency >= b.mean_latency ? a : b;
@@ -66,16 +112,15 @@ TuneDecision PairwiseTuner::retune(const std::vector<ServerReport>& reports,
     if (config_.divergent) {
       // The hot server checks its own trajectory before shedding again:
       // if the last exchange is still draining (latency falling), wait.
-      const auto hot_it = prev_latency_.find(hot.id);
-      if (hot_it != prev_latency_.end() &&
-          hot.mean_latency < hot_it->second) {
+      const double* hot_prev = prev_latency_of(hot.id);
+      if (hot_prev != nullptr && hot.mean_latency < *hot_prev) {
         continue;
       }
       // The cold side refuses while its own latency is rising: it is
       // still absorbing a previous acceptance.
-      const auto cold_it = prev_latency_.find(cold.id);
-      if (cold_it != prev_latency_.end() && cold.requests > 0 &&
-          cold.mean_latency > cold_it->second) {
+      const double* cold_prev = prev_latency_of(cold.id);
+      if (cold_prev != nullptr && cold.requests > 0 &&
+          cold.mean_latency > *cold_prev) {
         continue;
       }
     }
@@ -84,7 +129,8 @@ TuneDecision PairwiseTuner::retune(const std::vector<ServerReport>& reports,
     const double pair_mean = 0.5 * (hot.mean_latency + cold.mean_latency);
     const double factor =
         std::max(pair_mean / hot.mean_latency, 1.0 / config_.max_scale);
-    const Measure hot_share = target.at(hot.id);
+    Entry& hot_entry = entry_of(entries, hot.id);
+    const Measure hot_share = hot_entry.target;
     const auto correction = static_cast<Measure>(
         static_cast<long double>(hot_share) *
         static_cast<long double>((1.0 - factor) * config_.damping));
@@ -93,21 +139,46 @@ TuneDecision PairwiseTuner::retune(const std::vector<ServerReport>& reports,
         hot_share > config_.min_share ? hot_share - config_.min_share : 0;
     const Measure delta = std::min(correction, floor_room);
     if (delta == 0) continue;
-    target[hot.id] -= delta;
-    target[cold.id] += delta;  // pair-local conservation
+    hot_entry.target -= delta;
+    entry_of(entries, cold.id).target += delta;  // pair-local conservation
     decision.explicitly_scaled.push_back(hot.id);
     decision.explicitly_scaled.push_back(cold.id);
   }
 
-  // Refresh each server's locally-remembered latency.
-  for (const ServerReport& r : reports) prev_latency_[r.id] = r.mean_latency;
+  // Refresh each server's locally-remembered latency. The report ids
+  // are already sorted/deduped in `entries`, so the merge over the
+  // sorted history is linear; unreported servers keep their entry.
+  {
+    std::vector<ServerId> ids;
+    std::vector<double> lat;
+    ids.reserve(prev_ids_.size() + entries.size());
+    lat.reserve(prev_ids_.size() + entries.size());
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < prev_ids_.size() || j < entries.size()) {
+      if (j == entries.size() ||
+          (i < prev_ids_.size() && prev_ids_[i] < entries[j].id)) {
+        ids.push_back(prev_ids_[i]);
+        lat.push_back(prev_lat_[i]);
+        ++i;
+        continue;
+      }
+      if (i < prev_ids_.size() && prev_ids_[i] == entries[j].id) ++i;
+      ids.push_back(entries[j].id);
+      lat.push_back(entries[j].report->mean_latency);
+      ++j;
+    }
+    prev_ids_ = std::move(ids);
+    prev_lat_ = std::move(lat);
+  }
 
   Measure sum = 0;
   decision.targets.reserve(alive.size());
   for (const ServerReport& r : reports) {
-    decision.targets.emplace_back(r.id, target.at(r.id));
-    sum += target.at(r.id);
-    if (target.at(r.id) != regions.share(r.id)) decision.acted = true;
+    const Measure target = entry_of(entries, r.id).target;
+    decision.targets.emplace_back(r.id, target);
+    sum += target;
+    if (target != regions.share(r.id)) decision.acted = true;
   }
   ANUFS_ENSURES(sum == kHalfInterval);  // conservation, exactly
   return decision;

@@ -1,22 +1,36 @@
-// Generation-stamped memo for PlacementMap::locate().
+// Generation-stamped memo for PlacementMap::locate(), with invalidation
+// scoped to the partitions a mutation actually touched.
 //
 // The paper argues request-time addressing is cheap because "successive
 // hash probes incur negligible costs" — but even a negligible probe chain
 // is pure recomputation when neither the fingerprint nor the region map
 // changed. This cache makes the request hot path O(1) amortized: a
 // direct-mapped table memoizes fingerprint -> LocateResult, with every
-// entry stamped by the RegionMap generation at insert time. Any mutation
-// of the map (membership, shaping, repartitioning) bumps the generation,
-// which invalidates every entry at once WITHOUT touching the table —
-// epoch invalidation, the same trick consistent-hashing routers use for
-// view changes. A hit therefore requires (fingerprint, generation) to
-// match exactly, and is bit-identical to an uncached locate() by
-// construction (tests/placement_cache_test.cpp re-proves this under the
-// invariant auditor for random mutation/lookup interleavings).
+// entry stamped by the RegionMap generation at insert time.
+//
+// Invalidation happens at two granularities:
+//
+//  * FAST PATH — entry generation == map generation: nothing anywhere
+//    has changed since insert; serve the result.
+//  * SCOPED REVALIDATION — the generations differ, but a locate() answer
+//    depends ONLY on the partitions its probe chain visited (each probe
+//    either missed unmapped space or landed on the owner). The map keeps
+//    a per-partition last-change stamp, so the entry is still exact iff
+//    every chain partition's stamp is <= the entry's stamp — checked by
+//    re-deriving the chain's positions (a handful of hash evaluations)
+//    without consulting ownership at all. A single-server resize
+//    therefore no longer evicts entries for unaffected servers: only
+//    chains crossing the touched partitions miss. Fallback-path entries
+//    additionally require the membership stamp to be unchanged, since
+//    the direct hash indexes the alive list.
+//
+// A hit — fast or revalidated — is bit-identical to an uncached locate()
+// by construction (tests/placement_cache_test.cpp re-proves this under
+// the invariant auditor for random mutation/lookup interleavings).
 //
 // Collisions simply overwrite (direct-mapped): correctness never depends
-// on residency, only on the stamp check. The table never allocates after
-// construction.
+// on residency, only on the stamp checks. The table never allocates
+// after construction.
 //
 // Thread ownership: like the Scheduler, a PlacementCache is confined to
 // one thread. Concurrent simulations each own their own cache (AnuSystem
@@ -42,6 +56,9 @@ class PlacementCache {
     /// Epoch changes observed (a lower bound on map mutations: several
     /// mutations between lookups count once).
     std::uint64_t invalidations = 0;
+    /// Hits served through scoped revalidation: the map moved since the
+    /// entry was cached, but not under this entry's probe chain.
+    std::uint64_t revalidated = 0;
     [[nodiscard]] double hit_rate() const noexcept {
       const std::uint64_t total = hits + misses;
       return total == 0 ? 0.0 : static_cast<double>(hits) /
@@ -56,9 +73,10 @@ class PlacementCache {
   explicit PlacementCache(std::size_t capacity = 16384)
       : mask_(round_up_pow2(capacity) - 1), slots_(mask_ + 1) {}
 
-  /// Resolve `fp` against `map`, serving from the cache when the entry's
-  /// generation stamp matches the map's current generation. Bit-identical
-  /// to map.locate(fp) in every field of LocateResult.
+  /// Resolve `fp` against `map`, serving from the cache when the entry
+  /// provably still matches the map (same generation, or no touched
+  /// partition under its probe chain). Bit-identical to map.locate(fp)
+  /// in every field of LocateResult.
   [[nodiscard]] LocateResult locate(const PlacementMap& map,
                                     std::uint64_t fp) {
     const std::uint64_t gen = map.regions().generation();
@@ -72,9 +90,21 @@ class PlacementCache {
     // unique name), so their low bits are already uniform — indexing
     // directly saves a re-mix on every request.
     Slot& slot = slots_[fp & mask_];
-    if (slot.generation == gen && slot.fingerprint == fp) {
-      ++stats_.hits;
-      return slot.result;
+    // Generation 0 never occurs in a live RegionMap (it starts at 1), so
+    // default-constructed slots can never pass either check.
+    if (slot.fingerprint == fp && slot.generation != 0) {
+      if (slot.generation == gen) {
+        ++stats_.hits;
+        return slot.result;
+      }
+      if (chain_unchanged(map, slot)) {
+        // Promote: the entry is exact as of the current generation, so
+        // later lookups take the fast path again.
+        slot.generation = gen;
+        ++stats_.hits;
+        ++stats_.revalidated;
+        return slot.result;
+      }
     }
     ++stats_.misses;
     const LocateResult result = map.locate(fp);
@@ -100,11 +130,36 @@ class PlacementCache {
  private:
   struct Slot {
     std::uint64_t fingerprint = 0;
-    // Generation 0 never occurs in a live RegionMap (it starts at 1), so
-    // default-constructed slots can never satisfy the stamp check.
-    std::uint64_t generation = 0;
+    std::uint64_t generation = 0;  ///< map generation at insert/promotion
     LocateResult result;
   };
+
+  /// True iff no partition under the entry's probe chain (and, for
+  /// fallback entries, the membership list) changed after the entry was
+  /// stamped. locate() is a pure function of exactly that state, so an
+  /// unchanged chain implies a bit-identical re-derivation.
+  [[nodiscard]] static bool chain_unchanged(const PlacementMap& map,
+                                            const Slot& slot) {
+    const RegionMap& regions = map.regions();
+    const std::uint64_t stamped = slot.generation;
+    if (slot.result.fallback) {
+      // The direct hash indexes the sorted alive list; any membership
+      // change re-homes fallback fingerprints.
+      if (regions.membership_stamp() > stamped) return false;
+      const std::uint32_t rounds = map.config().max_rounds;
+      for (std::uint32_t round = 0; round < rounds; ++round) {
+        const hash::Pos pos = map.family().probe(slot.fingerprint, round);
+        if (regions.stamp_at(pos) > stamped) return false;
+      }
+      return true;
+    }
+    // probes-1 misses through unmapped space, then the landing probe.
+    for (std::uint32_t round = 0; round < slot.result.probes; ++round) {
+      const hash::Pos pos = map.family().probe(slot.fingerprint, round);
+      if (regions.stamp_at(pos) > stamped) return false;
+    }
+    return true;
+  }
 
   [[nodiscard]] static std::size_t round_up_pow2(std::size_t n) {
     ANUFS_EXPECTS(n >= 1);

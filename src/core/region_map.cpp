@@ -6,31 +6,61 @@
 
 namespace anufs::core {
 
-RegionMap::RegionMap(std::uint32_t n_partitions) : space_(n_partitions) {
+RegionMap::RegionMap(std::uint32_t n_partitions)
+    : space_(n_partitions), free_(space_.count()) {
   parts_.resize(space_.count());
+  part_stamps_.assign(space_.count(), 0);
   for (std::uint32_t p = 0; p < space_.count(); ++p) free_.insert(p);
 }
 
+RegionMap::ServerRegions& RegionMap::regions_of(ServerId id) {
+  const std::uint32_t slot = slot_of(id);
+  ANUFS_EXPECTS(slot != kNoSlot);
+  return slots_[slot];
+}
+
+const RegionMap::ServerRegions& RegionMap::regions_of(ServerId id) const {
+  const std::uint32_t slot = slot_of(id);
+  ANUFS_EXPECTS(slot != kNoSlot);
+  return slots_[slot];
+}
+
 void RegionMap::add_server(ServerId id) {
-  const bool inserted = servers_.emplace(id, ServerRegions{}).second;
-  ANUFS_EXPECTS(inserted);
+  ANUFS_EXPECTS(!has_server(id));
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = ServerRegions{};
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  if (id.value >= id_to_slot_.size()) {
+    id_to_slot_.resize(id.value + 1, kNoSlot);
+  }
+  id_to_slot_[id.value] = slot;
   alive_ids_.insert(
       std::upper_bound(alive_ids_.begin(), alive_ids_.end(), id), id);
   ++generation_;
+  membership_stamp_ = generation_;
   detail::maybe_audit(*this);
 }
 
 void RegionMap::remove_server(ServerId id) {
-  const auto it = servers_.find(id);
-  ANUFS_EXPECTS(it != servers_.end());
-  ServerRegions& sr = it->second;
+  const std::uint32_t slot = slot_of(id);
+  ANUFS_EXPECTS(slot != kNoSlot);
+  ++generation_;
+  membership_stamp_ = generation_;
+  ServerRegions& sr = slots_[slot];
   for (const std::uint32_t p : sr.full) release_partition(p);
   if (sr.partial) release_partition(*sr.partial);
   total_ -= sr.share;
-  servers_.erase(it);
+  sr = ServerRegions{};
+  id_to_slot_[id.value] = kNoSlot;
+  free_slots_.push_back(slot);
   alive_ids_.erase(
       std::find(alive_ids_.begin(), alive_ids_.end(), id));
-  ++generation_;
   detail::maybe_audit(*this);
 }
 
@@ -39,16 +69,19 @@ std::vector<ServerId> RegionMap::server_ids() const { return alive_ids_; }
 void RegionMap::release_partition(std::uint32_t p) {
   parts_[p] = PartitionState{};
   free_.insert(p);
+  touch(p);
 }
 
 void RegionMap::claim_free(ServerId id, ServerRegions& sr, Measure fill) {
   ANUFS_EXPECTS(fill > 0 && fill <= part_size());
   ANUFS_ENSURES(!free_.empty());  // guaranteed by P >= 2(n+1), see header
-  const std::uint32_t p = *free_.begin();
-  free_.erase(free_.begin());
+  const std::uint32_t p = free_.first();
+  free_.erase(p);
   parts_[p] = PartitionState{id, fill};
+  touch(p);
   if (fill == part_size()) {
-    sr.full.insert(p);
+    sr.full.insert(
+        std::lower_bound(sr.full.begin(), sr.full.end(), p), p);
   } else {
     ANUFS_ENSURES(!sr.partial.has_value());
     sr.partial = p;
@@ -63,9 +96,11 @@ void RegionMap::grow(ServerId id, ServerRegions& sr, Measure delta) {
     const Measure headroom = ps - parts_[p].fill;
     const Measure take = std::min(delta, headroom);
     parts_[p].fill += take;
+    touch(p);
     delta -= take;
     if (parts_[p].fill == ps) {
-      sr.full.insert(p);
+      sr.full.insert(
+          std::lower_bound(sr.full.begin(), sr.full.end(), p), p);
       sr.partial.reset();
     }
   }
@@ -85,6 +120,7 @@ void RegionMap::shrink(ServerRegions& sr, Measure delta) {
     const std::uint32_t p = *sr.partial;
     const Measure take = std::min(delta, parts_[p].fill);
     parts_[p].fill -= take;
+    touch(p);
     delta -= take;
     if (parts_[p].fill == 0) {
       release_partition(p);
@@ -95,63 +131,88 @@ void RegionMap::shrink(ServerRegions& sr, Measure delta) {
   //    server's low partitions stay put across repeated reshaping).
   while (delta >= ps) {
     ANUFS_ENSURES(!sr.full.empty());
-    const auto last = std::prev(sr.full.end());
-    release_partition(*last);
-    sr.full.erase(last);
+    release_partition(sr.full.back());
+    sr.full.pop_back();
     delta -= ps;
   }
   // 3. Convert one full partition into the new partial.
   if (delta > 0) {
     ANUFS_ENSURES(!sr.full.empty() && !sr.partial.has_value());
-    const auto last = std::prev(sr.full.end());
-    const std::uint32_t p = *last;
-    sr.full.erase(last);
+    const std::uint32_t p = sr.full.back();
+    sr.full.pop_back();
     parts_[p].fill = ps - delta;
+    touch(p);
     sr.partial = p;
   }
 }
 
-void RegionMap::resize(ServerId id, Measure target) {
-  const auto it = servers_.find(id);
-  ANUFS_EXPECTS(it != servers_.end());
-  ServerRegions& sr = it->second;
+void RegionMap::resize_step(ServerId id, Measure target) {
+  ServerRegions& sr = regions_of(id);
+  if (target == sr.share) return;  // nothing to touch, no new epoch
+  ++generation_;
   if (target > sr.share) {
     const Measure delta = target - sr.share;
     grow(id, sr, delta);
     total_ += delta;
-  } else if (target < sr.share) {
+  } else {
     const Measure delta = sr.share - target;
     shrink(sr, delta);
     total_ -= delta;
   }
   sr.share = target;
-  ++generation_;
+}
+
+void RegionMap::resize(ServerId id, Measure target) {
+  resize_step(id, target);
   detail::maybe_audit(*this);
 }
 
-void RegionMap::rebalance_to(
+std::uint32_t RegionMap::rebalance_to(
     const std::vector<std::pair<ServerId, Measure>>& targets) {
   // Shrinks first: frees the measure the grows will claim. Both passes
-  // iterate in ServerId order for determinism.
-  std::vector<std::pair<ServerId, Measure>> sorted = targets;
-  std::sort(sorted.begin(), sorted.end());
-  for (const auto& [id, target] : sorted) {
-    if (target < share(id)) resize(id, target);
+  // iterate in ServerId order for determinism; the sort (and its copy)
+  // is skipped entirely when the caller already hands us sorted targets
+  // — every in-tree caller does.
+  std::vector<std::pair<ServerId, Measure>> scratch;
+  const std::vector<std::pair<ServerId, Measure>>* ordered = &targets;
+  if (!std::is_sorted(targets.begin(), targets.end())) {
+    scratch = targets;
+    std::sort(scratch.begin(), scratch.end());
+    ordered = &scratch;
   }
-  for (const auto& [id, target] : sorted) {
-    if (target > share(id)) resize(id, target);
+  std::uint32_t touched = 0;
+  for (const auto& [id, target] : *ordered) {
+    if (target < share(id)) {
+      resize_step(id, target);
+      ++touched;
+    }
+  }
+  for (const auto& [id, target] : *ordered) {
+    if (target > share(id)) {
+      resize_step(id, target);
+      ++touched;
+    }
   }
   ANUFS_ENSURES(total_ <= hash::kHalfInterval);
   detail::maybe_audit(*this);
+  return touched;
 }
 
 void RegionMap::repartition_double() {
+  ++generation_;
   space_.double_count();
   const Measure new_ps = space_.partition_size();
   const auto old_count = static_cast<std::uint32_t>(parts_.size());
   std::vector<PartitionState> next(std::size_t{2} * old_count);
+  std::vector<std::uint64_t> next_stamps(std::size_t{2} * old_count);
   for (std::uint32_t p = 0; p < old_count; ++p) {
     const PartitionState& st = parts_[p];
+    // Children inherit the parent's stamp: no boundary moves and no
+    // placement answer changes, so derived state stays valid across a
+    // repartition — exactly the paper's "no load moves" claim, carried
+    // through to the caches.
+    next_stamps[2 * p] = part_stamps_[p];
+    next_stamps[2 * p + 1] = part_stamps_[p];
     if (st.fill == 0) continue;
     // Split the prefix [0, fill) across the two children.
     next[2 * p] = PartitionState{st.owner, std::min(st.fill, new_ps)};
@@ -160,9 +221,11 @@ void RegionMap::repartition_double() {
     }
   }
   parts_ = std::move(next);
+  part_stamps_ = std::move(next_stamps);
   // Rebuild the per-server and free-list indexes; shares are unchanged.
-  free_.clear();
-  for (auto& [id, sr] : servers_) {
+  free_.reset(static_cast<std::uint32_t>(parts_.size()));
+  for (const ServerId id : alive_ids_) {
+    ServerRegions& sr = regions_of(id);
     sr.full.clear();
     sr.partial.reset();
   }
@@ -171,14 +234,13 @@ void RegionMap::repartition_double() {
     if (st.fill == 0) {
       free_.insert(p);
     } else if (st.fill == new_ps) {
-      servers_.at(st.owner).full.insert(p);
+      regions_of(st.owner).full.push_back(p);  // ascending p: stays sorted
     } else {
-      auto& sr = servers_.at(st.owner);
+      ServerRegions& sr = regions_of(st.owner);
       ANUFS_ENSURES(!sr.partial.has_value());
       sr.partial = p;
     }
   }
-  ++generation_;
   detail::maybe_audit(*this);
 }
 
@@ -190,19 +252,16 @@ std::optional<ServerId> RegionMap::owner_at(Pos x) const {
   return std::nullopt;
 }
 
-Measure RegionMap::share(ServerId id) const {
-  const auto it = servers_.find(id);
-  ANUFS_EXPECTS(it != servers_.end());
-  return it->second.share;
-}
+Measure RegionMap::share(ServerId id) const { return regions_of(id).share; }
 
 std::vector<Segment> RegionMap::segments(ServerId id) const {
-  const auto it = servers_.find(id);
-  ANUFS_EXPECTS(it != servers_.end());
-  const ServerRegions& sr = it->second;
-  std::vector<std::uint32_t> owned(sr.full.begin(), sr.full.end());
-  if (sr.partial) owned.push_back(*sr.partial);
-  std::sort(owned.begin(), owned.end());
+  const ServerRegions& sr = regions_of(id);
+  std::vector<std::uint32_t> owned = sr.full;  // already sorted
+  if (sr.partial) {
+    owned.insert(
+        std::lower_bound(owned.begin(), owned.end(), *sr.partial),
+        *sr.partial);
+  }
 
   std::vector<Segment> out;
   for (const std::uint32_t p : owned) {
@@ -234,16 +293,20 @@ RegionMap RegionMap::restore(std::uint32_t n_partitions,
   RegionMap map(n_partitions);
   for (const ServerId id : all_servers) map.add_server(id);
   const Measure ps = map.part_size();
+  ++map.generation_;  // record installation mutates state after add_server
   for (const PartitionRecord& rec : records) {
     ANUFS_EXPECTS(rec.index < map.space().count());
     ANUFS_EXPECTS(rec.fill > 0 && rec.fill <= ps);
-    ANUFS_EXPECTS(map.servers_.contains(rec.owner));
+    ANUFS_EXPECTS(map.has_server(rec.owner));
     ANUFS_EXPECTS(map.parts_[rec.index].fill == 0);  // no duplicates
     map.parts_[rec.index] = PartitionState{rec.owner, rec.fill};
     map.free_.erase(rec.index);
-    ServerRegions& sr = map.servers_.at(rec.owner);
+    map.touch(rec.index);
+    ServerRegions& sr = map.regions_of(rec.owner);
     if (rec.fill == ps) {
-      sr.full.insert(rec.index);
+      sr.full.insert(
+          std::lower_bound(sr.full.begin(), sr.full.end(), rec.index),
+          rec.index);
     } else {
       ANUFS_EXPECTS(!sr.partial.has_value());  // one-partial invariant
       sr.partial = rec.index;
@@ -251,7 +314,6 @@ RegionMap RegionMap::restore(std::uint32_t n_partitions,
     sr.share += rec.fill;
     map.total_ += rec.fill;
   }
-  ++map.generation_;  // record installation mutated state after add_server
   map.check_invariants();
   detail::maybe_audit(map);
   return map;
@@ -270,16 +332,21 @@ void RegionMap::check_invariants() const {
       ++free_seen;
     } else {
       ANUFS_ENSURES(!free_.contains(p));
-      ANUFS_ENSURES(servers_.contains(st.owner));
+      ANUFS_ENSURES(has_server(st.owner));
     }
     fill_total += st.fill;
   }
   ANUFS_ENSURES(free_seen == free_.size());
   ANUFS_ENSURES(fill_total == total_);
 
-  // Server-level consistency: share accounting and the one-partial rule.
+  // Server-level consistency: share accounting, the one-partial rule,
+  // and the dense id->slot table agreeing with the alive list.
   Measure share_total = 0;
-  for (const auto& [id, sr] : servers_) {
+  for (const ServerId id : alive_ids_) {
+    const std::uint32_t slot = slot_of(id);
+    ANUFS_ENSURES(slot != kNoSlot && slot < slots_.size());
+    const ServerRegions& sr = slots_[slot];
+    ANUFS_ENSURES(std::is_sorted(sr.full.begin(), sr.full.end()));
     Measure s = 0;
     for (const std::uint32_t p : sr.full) {
       ANUFS_ENSURES(parts_[p].owner == id && parts_[p].fill == ps);
@@ -295,6 +362,7 @@ void RegionMap::check_invariants() const {
     share_total += s;
   }
   ANUFS_ENSURES(share_total == total_);
+  ANUFS_ENSURES(alive_ids_.size() + free_slots_.size() == slots_.size());
 
   // Free-partition guarantee (paper Section 4): at half occupancy with
   // P >= 2(n+1) there is always somewhere to put a recovered server.

@@ -18,15 +18,27 @@
 // shrink-first/grow-second reshaping succeeds without relocating any
 // occupied segment — which is what gives ANU its minimal-movement and
 // cache-preservation properties.
+//
+// Control-plane scalability (the O(changed) contract): every internal
+// lookup is O(1) or O(log64 P) — servers live in dense slots addressed
+// by a direct id->slot table, free partitions in a hierarchical bitmap
+// (core::PartitionIndex), and a server's full partitions in a sorted
+// flat vector (average occupancy P/2n < 2 partitions per server). A
+// mutation therefore costs only the partitions it actually touches,
+// never a walk of the whole map, and rebalance_to() skips servers whose
+// target equals their share without touching them at all. Consumers
+// that memoize derived state (the placement cache, the tuner's share
+// snapshot) track change at two granularities: the global generation
+// (any mutation) and per-partition stamps (exactly which sub-regions
+// moved), so their invalidation is scoped to what changed.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "common/ids.h"
+#include "core/partition_index.h"
 #include "core/partition_space.h"
 #include "hash/unit_interval.h"
 
@@ -66,8 +78,8 @@ class RegionMap {
   /// half-occupancy by growing survivors; see rebalance_to).
   void remove_server(ServerId id);
 
-  [[nodiscard]] bool has_server(ServerId id) const {
-    return servers_.contains(id);
+  [[nodiscard]] bool has_server(ServerId id) const noexcept {
+    return slot_of(id) != kNoSlot;
   }
 
   [[nodiscard]] std::vector<ServerId> server_ids() const;
@@ -82,16 +94,36 @@ class RegionMap {
   }
 
   [[nodiscard]] std::uint32_t server_count() const noexcept {
-    return static_cast<std::uint32_t>(servers_.size());
+    return static_cast<std::uint32_t>(alive_ids_.size());
   }
 
   /// Monotone mutation counter: bumps on every state-changing operation
   /// (add/remove/resize/rebalance/repartition). Consumers that memoize
   /// placement lookups (core::PlacementCache) stamp entries with this
-  /// value and treat any change as a new epoch, so a stale answer can
-  /// never be served after the map moved.
+  /// value; per-partition stamps below let them re-validate instead of
+  /// discarding when the mutation did not touch their probe chain.
   [[nodiscard]] std::uint64_t generation() const noexcept {
     return generation_;
+  }
+
+  /// Generation of the last change to partition `p`'s (owner, fill)
+  /// state. An entry derived at generation G from partitions whose
+  /// stamps are all <= G is still exact, no matter how many times the
+  /// rest of the map moved since.
+  [[nodiscard]] std::uint64_t partition_stamp(std::uint32_t p) const {
+    return part_stamps_[p];
+  }
+
+  /// Stamp of the partition containing position x.
+  [[nodiscard]] std::uint64_t stamp_at(Pos x) const noexcept {
+    return part_stamps_[space_.partition_of(x)];
+  }
+
+  /// Generation of the last membership change (add/remove). Anything
+  /// derived from the alive-server list (the locate() fallback path)
+  /// is exact iff its stamp is >= this.
+  [[nodiscard]] std::uint64_t membership_stamp() const noexcept {
+    return membership_stamp_;
   }
 
   // ---- shaping ----------------------------------------------------------
@@ -102,14 +134,19 @@ class RegionMap {
   /// direction relocates nothing that remains mapped.
   void resize(ServerId id, Measure target);
 
-  /// Atomically reshape every server to the given targets (servers not
-  /// listed keep their share). Shrinks are applied before grows, which
-  /// guarantees success whenever the targets sum to <= kHalfInterval and
-  /// the partition bound P >= 2(n+1) holds.
-  void rebalance_to(const std::vector<std::pair<ServerId, Measure>>& targets);
+  /// Atomically reshape every listed server to the given targets
+  /// (servers not listed keep their share). Shrinks are applied before
+  /// grows, which guarantees success whenever the targets sum to
+  /// <= kHalfInterval and the partition bound P >= 2(n+1) holds.
+  /// Servers whose target equals their current share are not touched.
+  /// Returns how many servers actually changed shape — the control
+  /// plane's per-round "touched" count.
+  std::uint32_t rebalance_to(
+      const std::vector<std::pair<ServerId, Measure>>& targets);
 
-  /// Double the partition count. Preserves every boundary; no load moves.
-  /// Called when added servers push P below 2(n+1).
+  /// Double the partition count. Preserves every boundary; no load moves
+  /// (and no placement answer changes: child partitions inherit their
+  /// parent's stamp, so scoped caches stay valid across it).
   void repartition_double();
 
   // ---- queries ----------------------------------------------------------
@@ -117,7 +154,7 @@ class RegionMap {
   /// Owner of position x, or nullopt when x lies in unmapped space.
   [[nodiscard]] std::optional<ServerId> owner_at(Pos x) const;
 
-  /// Current measure of a server's mapped region.
+  /// Current measure of a server's mapped region. O(1).
   [[nodiscard]] Measure share(ServerId id) const;
 
   /// Sum of all shares.
@@ -159,15 +196,35 @@ class RegionMap {
       const std::vector<PartitionRecord>& records);
 
  private:
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
   struct ServerRegions {
-    std::set<std::uint32_t> full;              // fully-owned partitions
-    std::optional<std::uint32_t> partial;      // at most one
+    std::vector<std::uint32_t> full;       // fully-owned partitions, sorted
+    std::optional<std::uint32_t> partial;  // at most one
     Measure share = 0;
   };
 
   [[nodiscard]] Measure part_size() const noexcept {
     return space_.partition_size();
   }
+
+  /// resize() without the post-mutation audit hook: the batch body of
+  /// rebalance_to(), which audits once after the whole batch instead of
+  /// after each member (n audits per rebalance is the difference
+  /// between O(touched) and O(touched * audit) control-plane rounds).
+  void resize_step(ServerId id, Measure target);
+
+  /// Dense slot of `id`, or kNoSlot. ServerIds are dense by contract
+  /// (common/ids.h), so a direct table keeps this O(1) with no hashing.
+  [[nodiscard]] std::uint32_t slot_of(ServerId id) const noexcept {
+    return id.value < id_to_slot_.size() ? id_to_slot_[id.value] : kNoSlot;
+  }
+  [[nodiscard]] ServerRegions& regions_of(ServerId id);
+  [[nodiscard]] const ServerRegions& regions_of(ServerId id) const;
+
+  /// Record that partition p's (owner, fill) state changed in the
+  /// mutation currently stamping `generation_`.
+  void touch(std::uint32_t p) { part_stamps_[p] = generation_; }
 
   void grow(ServerId id, ServerRegions& sr, Measure delta);
   void shrink(ServerRegions& sr, Measure delta);
@@ -182,13 +239,20 @@ class RegionMap {
     Measure fill = 0;
   };
   std::vector<PartitionState> parts_;
-  std::set<std::uint32_t> free_;               // unowned partitions
-  std::map<ServerId, ServerRegions> servers_;  // ordered => deterministic
-  std::vector<ServerId> alive_ids_;            // sorted; mirrors servers_
+  std::vector<std::uint64_t> part_stamps_;  // last-change generation per p
+  PartitionIndex free_;                     // unowned partitions
+  // Dense server storage: id -> slot -> regions. Slots are recycled on
+  // removal; alive_ids_ (sorted) provides the deterministic iteration
+  // order every walk uses.
+  std::vector<ServerRegions> slots_;
+  std::vector<std::uint32_t> id_to_slot_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<ServerId> alive_ids_;  // sorted; mirrors registration set
   Measure total_ = 0;
   // Starts at 1 so generation 0 can serve as an "empty" sentinel in
   // generation-stamped caches.
   std::uint64_t generation_ = 1;
+  std::uint64_t membership_stamp_ = 0;
 };
 
 }  // namespace anufs::core

@@ -58,12 +58,39 @@ obs::Registry collect_run_metrics(const ScenarioConfig& config,
     reg.counter("placement_cache.hits").set(cs.hits);
     reg.counter("placement_cache.misses").set(cs.misses);
     reg.counter("placement_cache.invalidations").set(cs.invalidations);
+    reg.counter("placement_cache.revalidated").set(cs.revalidated);
     reg.gauge("placement_cache.hit_rate").set(cs.hit_rate());
+
+    // Control-plane cost: how many servers each reconfiguration or
+    // membership event actually reshaped (the O(changed) ledger).
+    const core::ControlPlaneStats& cp =
+        anu->system().control_plane_stats();
+    reg.counter("control.rounds").set(cp.rounds);
+    reg.counter("control.rounds_acted").set(cp.rounds_acted);
+    reg.counter("control.membership_events").set(cp.membership_events);
+    reg.counter("control.touched_total").set(cp.touched_total);
+    reg.counter("control.max_touched").set(cp.max_touched);
+    // Re-expand the log2 buckets into a mergeable registry histogram
+    // (base bucket: 1 server). Bucket i's events touched counts in
+    // [2^(i-1), 2^i); the lower bound is an exact representative.
+    obs::Histogram& touched = reg.histogram("control.touched_servers", 1.0, 20);
+    for (std::size_t i = 0; i < cp.touched_log2.size(); ++i) {
+      const double rep =
+          i == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << (i - 1));
+      for (std::uint64_t k = 0; k < cp.touched_log2[i]; ++k) {
+        touched.record(rep);
+      }
+    }
   }
 
-  // The trace's own health: how much the ring kept vs overwrote.
+  // The trace's own health: how much the ring kept vs overwrote. The
+  // caller must harvest AFTER its final events() snapshot so these
+  // counts agree with what was actually exported (driver/scenario.cpp
+  // drains first; tests/run_metrics_test.cpp pins the ordering with a
+  // 1-slot ring).
   if (sink != nullptr) {
     reg.counter("trace.recorded").set(sink->recorded());
+    reg.counter("trace.retained").set(sink->recorded() - sink->dropped());
     reg.counter("trace.dropped").set(sink->dropped());
   }
   return reg;

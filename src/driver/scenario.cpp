@@ -423,9 +423,13 @@ cluster::RunResult run_built(const ScenarioConfig& config,
   }
 
   if (sink.has_value()) {
+    // Drain the ring FIRST: the metrics harvest reads the sink's health
+    // counters (recorded/dropped), and harvesting before the final
+    // flush would miss anything recorded in between — the snapshot
+    // below is the flush, so trace.* and the exported events agree.
+    const std::vector<obs::TraceEvent> events = sink->events();
     const obs::Registry registry =
         collect_run_metrics(config, result, pol.get(), &*sink);
-    const std::vector<obs::TraceEvent> events = sink->events();
     const bool ok =
         obs::write_text_file(config.trace_path, obs::to_jsonl(events)) &&
         obs::write_text_file(config.trace_path + ".chrome.json",

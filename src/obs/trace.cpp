@@ -17,6 +17,7 @@ constexpr CategoryEntry kCategories[] = {
     {Category::kDelegate, "delegate"}, {Category::kTuner, "tuner"},
     {Category::kMove, "move"},         {Category::kCache, "cache"},
     {Category::kFault, "fault"},       {Category::kSched, "sched"},
+    {Category::kControl, "control"},
 };
 
 }  // namespace

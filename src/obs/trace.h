@@ -52,9 +52,10 @@ enum class Category : std::uint32_t {
   kCache = 1u << 3,     ///< placement-cache epoch invalidations
   kFault = 1u << 4,     ///< fault directives firing (crash/limp/...)
   kSched = 1u << 5,     ///< event-engine pool growth
+  kControl = 1u << 6,   ///< control-plane cost accounting (touched counts)
 };
 
-inline constexpr std::uint32_t kAllCategories = (1u << 6) - 1;
+inline constexpr std::uint32_t kAllCategories = (1u << 7) - 1;
 
 [[nodiscard]] const char* category_name(Category c) noexcept;
 

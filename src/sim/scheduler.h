@@ -66,6 +66,15 @@ class Scheduler {
     std::size_t peak_pending = 0;  ///< high-water mark of pending()
     std::uint64_t pool_allocated = 0;  ///< event nodes freshly allocated
     std::uint64_t pool_recycled = 0;   ///< schedules served from the free list
+    // Pool composition AT SNAPSHOT TIME, filled by stats() in the same
+    // read as the cumulative counters above so the "allocates nothing"
+    // assertions can check conservation (pool_size == pool_free +
+    // pending) instead of re-reading the free list in a separate call —
+    // a second read may interleave with a cancel's eager reclaim or a
+    // compaction and see the counters and the free-list head disagree.
+    std::size_t pool_size = 0;  ///< nodes ever allocated (pool high-water)
+    std::size_t pool_free = 0;  ///< slots on the free list right now
+    std::size_t pending = 0;    ///< live (un-fired, un-cancelled) events
   };
 
   /// Current simulated time. Starts at kTimeZero; advances only while
@@ -85,8 +94,18 @@ class Scheduler {
   /// Consistent snapshot of the counters (see Stats for thread rules):
   /// returning by value means a caller holding the result can never
   /// observe a half-updated struct if it outlives this Scheduler or
-  /// hands the snapshot to another thread.
-  [[nodiscard]] Stats stats() const noexcept { return stats_; }
+  /// hands the snapshot to another thread. The pool-composition fields
+  /// are captured in the same call as the cumulative counters, so the
+  /// conservation law pool_size == pool_free + pending holds in every
+  /// snapshot — including one taken mid-compaction, because compaction
+  /// rewrites only the heap's tombstones, never the node pool.
+  [[nodiscard]] Stats stats() const noexcept {
+    Stats s = stats_;
+    s.pool_size = nodes_.size();
+    s.pool_free = free_slots_.size();
+    s.pending = pending();
+    return s;
+  }
 
   /// Pre-size the calendar and the node pool for an expected peak of
   /// concurrently pending events (optional; the pool grows on demand).

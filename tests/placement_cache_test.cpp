@@ -135,7 +135,7 @@ TEST(PlacementCache, BitIdenticalAcrossJobsCounts) {
   }
 }
 
-TEST(PlacementCache, RepeatLookupIsAHitUntilTheMapMutates) {
+TEST(PlacementCache, RepeatLookupIsAHitAndMutationsNeverChangeAnswers) {
   std::vector<ServerId> servers;
   for (std::uint32_t i = 0; i < 5; ++i) servers.push_back(ServerId{i});
   core::AnuSystem system{core::AnuConfig{}, servers};
@@ -150,16 +150,73 @@ TEST(PlacementCache, RepeatLookupIsAHitUntilTheMapMutates) {
   EXPECT_EQ(second.server, first.server);
   EXPECT_EQ(second.probes, first.probes);
 
-  // Any mutation fences the whole cache: the next lookup re-derives.
+  // A mutation no longer fences the whole cache: invalidation is scoped
+  // to the touched partitions, so this lookup may be a revalidated hit
+  // (failure did not move anything under this fingerprint's chain) or a
+  // miss (it did) — but in either case the answer is bit-identical to
+  // the uncached derivation, and every lookup is accounted exactly once.
   system.fail_server(ServerId{first.server == ServerId{0} ? 1u : 0u});
   const LocateResult after = system.locate_detailed(fp);
-  EXPECT_EQ(system.cache_stats().hits, 1u);
-  EXPECT_EQ(system.cache_stats().misses, 2u);
   const LocateResult reference = system.locate_uncached(fp);
   EXPECT_EQ(after.server, reference.server);
   EXPECT_EQ(after.probes, reference.probes);
   EXPECT_EQ(after.fallback, reference.fallback);
   EXPECT_EQ(after.position, reference.position);
+  const core::PlacementCache::Stats stats = system.cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses, 3u);
+  EXPECT_EQ(stats.invalidations, 2u);  // warm-up epoch + the failure
+}
+
+TEST(PlacementCache, HitRateSurvivesMembershipChurn) {
+  // The over-broad-invalidation regression: under the old epoch-only
+  // check, EVERY post-churn lookup missed (hit rate cratered to ~0
+  // whenever membership changed between lookups). Scoped revalidation
+  // keeps entries whose probe chains the churn did not touch — the bulk,
+  // since survivors' full partitions are preserved by design ("cache
+  // preservation" is the paper's point) — so most lookups stay hits.
+  std::vector<ServerId> servers;
+  for (std::uint32_t i = 0; i < 64; ++i) servers.push_back(ServerId{i});
+  core::AnuSystem system{core::AnuConfig{}, servers};
+
+  sim::Xoshiro256 rng{sim::make_stream(7, "cache-churn")};
+  std::vector<std::uint64_t> pool(4096);
+  for (auto& fp : pool) fp = rng();
+
+  // Warm the cache.
+  for (const std::uint64_t fp : pool) (void)system.locate_detailed(fp);
+
+  const core::PlacementCache::Stats warm = system.cache_stats();
+  std::uint32_t next_id = 64;
+  std::uint64_t post_churn_lookups = 0;
+  for (int round = 0; round < 10; ++round) {
+    if (round % 2 == 0) {
+      const std::vector<ServerId> alive = system.alive();
+      system.fail_server(alive[rng() % alive.size()]);
+    } else {
+      system.add_server(ServerId{next_id++});
+    }
+    for (const std::uint64_t fp : pool) {
+      const LocateResult cached = system.locate_detailed(fp);
+      const LocateResult reference = system.locate_uncached(fp);
+      ASSERT_EQ(cached.server, reference.server);
+      ASSERT_EQ(cached.probes, reference.probes);
+      ASSERT_EQ(cached.fallback, reference.fallback);
+      ASSERT_EQ(cached.position, reference.position);
+      ++post_churn_lookups;
+    }
+  }
+  const core::PlacementCache::Stats after = system.cache_stats();
+  const std::uint64_t post_hits = after.hits - warm.hits;
+  const double post_hit_rate =
+      static_cast<double>(post_hits) /
+      static_cast<double>(post_churn_lookups);
+  // Every one of the 10 rounds starts right after a membership change,
+  // so the epoch-only cache would score ~0 here (only same-round repeat
+  // lookups could hit, and the pool has no repeats). Scoped
+  // revalidation must keep the majority of the working set alive.
+  EXPECT_GT(post_hit_rate, 0.5) << "post-churn hit rate cratered";
+  EXPECT_GT(after.revalidated, 0u);
+  EXPECT_GE(after.invalidations, 10u);
 }
 
 TEST(PlacementCache, TinyCacheCollisionsNeverChangeAnswers) {

@@ -1,0 +1,68 @@
+// Regression tests for the run-metrics harvest, pinning the bug where
+// trace-health counters were read before the sink's final drain: with a
+// ring small enough to overflow, `dropped` must reflect every overwrite
+// that happened up to the flush, and retained + dropped must equal
+// recorded (driver/scenario.cpp snapshots events() first, then
+// harvests — the counters and the exported event list always agree).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "cluster/cluster_sim.h"
+#include "driver/run_metrics.h"
+#include "driver/scenario.h"
+#include "obs/trace.h"
+
+namespace anufs {
+namespace {
+
+TEST(RunMetrics, TraceHealthCountsOverflowWithOneSlotRing) {
+  obs::TraceSink sink(obs::kAllCategories, /*capacity=*/1);
+  for (int i = 0; i < 5; ++i) {
+    sink.record(obs::Category::kSched, "e", {{"i", i}});
+  }
+  // The final flush: exactly one event survives the 1-slot ring.
+  const std::vector<obs::TraceEvent> events = sink.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].seq, 4u);  // the newest one
+
+  const driver::ScenarioConfig config{};
+  const cluster::RunResult result{};
+  const obs::Registry reg =
+      driver::collect_run_metrics(config, result, nullptr, &sink);
+  EXPECT_EQ(reg.counters().at("trace.recorded").value(), 5u);
+  EXPECT_EQ(reg.counters().at("trace.dropped").value(), 4u);
+  EXPECT_EQ(reg.counters().at("trace.retained").value(), 1u);
+}
+
+TEST(RunMetrics, RetainedPlusDroppedAlwaysEqualsRecorded) {
+  for (const std::size_t capacity : {1u, 2u, 7u, 64u}) {
+    obs::TraceSink sink(obs::kAllCategories, capacity);
+    for (int i = 0; i < 100; ++i) {
+      sink.record(obs::Category::kCache, "e", {});
+    }
+    const driver::ScenarioConfig config{};
+    const cluster::RunResult result{};
+    const obs::Registry reg =
+        driver::collect_run_metrics(config, result, nullptr, &sink);
+    const std::uint64_t recorded = reg.counters().at("trace.recorded").value();
+    const std::uint64_t retained = reg.counters().at("trace.retained").value();
+    const std::uint64_t dropped = reg.counters().at("trace.dropped").value();
+    EXPECT_EQ(recorded, 100u);
+    EXPECT_EQ(retained + dropped, recorded) << "capacity=" << capacity;
+    EXPECT_EQ(retained, sink.events().size()) << "capacity=" << capacity;
+  }
+}
+
+TEST(RunMetrics, NoSinkOmitsTraceCounters) {
+  const driver::ScenarioConfig config{};
+  const cluster::RunResult result{};
+  const obs::Registry reg =
+      driver::collect_run_metrics(config, result, nullptr, nullptr);
+  EXPECT_EQ(reg.counters().count("trace.recorded"), 0u);
+  EXPECT_EQ(reg.counters().count("trace.dropped"), 0u);
+  EXPECT_EQ(reg.counters().count("trace.retained"), 0u);
+}
+
+}  // namespace
+}  // namespace anufs

@@ -344,6 +344,49 @@ TEST(Scheduler, ReservePreSizesWithoutAllocatingNodes) {
   EXPECT_EQ(sched.fired(), 1u);
 }
 
+TEST(Scheduler, StatsSnapshotConservesPoolAcrossCancelStormAndCompaction) {
+  // Regression: the pool counters used to be readable only alongside a
+  // SEPARATE read of the free list, so an assertion could observe the
+  // cumulative counters and the free-list head from different moments
+  // (e.g. one taken mid-cancel-storm, after the eager reclaim but with
+  // a pre-compaction snapshot of the counters). stats() now captures
+  // pool composition and counters in one call, so the conservation law
+  // pool_size == pool_free + pending must hold in EVERY snapshot —
+  // before, during, and after the storm that triggers compaction.
+  Scheduler sched;
+  const auto check = [&sched](const char* where) {
+    const Scheduler::Stats s = sched.stats();
+    EXPECT_EQ(s.pool_size, s.pool_free + s.pending) << where;
+    EXPECT_EQ(s.pool_size, s.pool_allocated) << where;
+    EXPECT_EQ(s.pending, sched.pending()) << where;
+  };
+  check("empty");
+
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(sched.schedule_at(1.0 + i, [] {}));
+    check("scheduling");
+  }
+  // Cancel from the back: tombstones pile up until compaction fires
+  // (floor 64, majority rule) while the snapshot stays conserved on
+  // every single step, including the cancel that triggers it.
+  for (int i = 199; i >= 40; --i) {
+    ASSERT_TRUE(sched.cancel(ids[static_cast<std::size_t>(i)]));
+    check("cancelling");
+  }
+  EXPECT_GT(sched.stats().compactions, 0u);
+
+  // Steady state: fire everything; every fired slot returns to the
+  // free list, so the pool drains to fully-free.
+  sched.run();
+  check("drained");
+  const Scheduler::Stats end = sched.stats();
+  EXPECT_EQ(end.pending, 0u);
+  EXPECT_EQ(end.pool_free, end.pool_size);
+  EXPECT_EQ(end.fired, 40u);
+  EXPECT_EQ(end.cancelled, 160u);
+}
+
 TEST(Scheduler, ManyEventsDeterministicOrder) {
   // Two identical schedules must produce identical firing orders.
   const auto run_once = [] {

@@ -38,7 +38,8 @@ TEST(TraceCategories, UnknownNameRejected) {
 TEST(TraceCategories, EveryCategoryRoundTrips) {
   for (const Category c :
        {Category::kDelegate, Category::kTuner, Category::kMove,
-        Category::kCache, Category::kFault, Category::kSched}) {
+        Category::kCache, Category::kFault, Category::kSched,
+        Category::kControl}) {
     const auto mask = parse_categories(category_name(c));
     ASSERT_TRUE(mask.has_value()) << category_name(c);
     EXPECT_EQ(*mask, static_cast<std::uint32_t>(c));
