@@ -10,6 +10,11 @@
 #             any cross-run data race fails the suite
 #   lint      clang-tidy over src/ tools/ bench/ tests/ (skips when
 #             clang-tidy is not installed)
+#   static    project-invariant analysis (scripts/static.sh): anufs_lint
+#             D1/H1/T1/G1 over src/, the lint-fixture proof, and — when
+#             clang++ exists — the thread-safety capability-analysis
+#             build of the `clang` preset; each sub-stage skips
+#             gracefully when its toolchain is missing
 #   trace-smoke  run anufs_sim --trace on a tiny scenario (default
 #             preset's build) and validate the exported JSONL against
 #             scripts/check_trace_schema.py
@@ -49,13 +54,18 @@ for arg in "$@"; do
   fi
 done
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(default trace-smoke retune-smoke sanitize tsan lint)
+  STAGES=(default trace-smoke retune-smoke static sanitize tsan lint)
 fi
 
 for stage in "${STAGES[@]}"; do
   if [ "$stage" = lint ]; then
     echo "== lint"
     ./scripts/lint.sh
+    continue
+  fi
+  if [ "$stage" = static ]; then
+    echo "== static"
+    ./scripts/static.sh --jobs "$JOBS"
     continue
   fi
   if [ "$stage" = trace-smoke ]; then

@@ -7,6 +7,8 @@
 #   ./scripts/lint.sh                        # lint everything
 #   ./scripts/lint.sh src/core/region_map.cpp ...   # lint specific files
 #   ./scripts/lint.sh --build-dir build-foo  # use another compile db
+#   ./scripts/lint.sh --jobs 8               # explicit TU parallelism
+#                                            # (default: ANUFS_JOBS or nproc)
 #
 # When clang-tidy is not installed the gate SKIPS rather than fails:
 # exit 0 standalone, or --skip-exit-code N for ctest's SKIP_RETURN_CODE
@@ -19,11 +21,13 @@ cd "$ROOT"
 
 BUILD_DIR="$ROOT/build"
 SKIP_CODE=0
+JOBS="${ANUFS_JOBS:-$(nproc 2>/dev/null || echo 2)}"
 FILES=()
 while [ $# -gt 0 ]; do
   case "$1" in
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --skip-exit-code) SKIP_CODE="$2"; shift 2 ;;
+    --jobs) JOBS="$2"; shift 2 ;;
     *) FILES+=("$1"); shift ;;
   esac
 done
@@ -36,14 +40,21 @@ fi
 
 if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   echo "lint.sh: generating compile database in $BUILD_DIR"
-  cmake -B "$BUILD_DIR" -S "$ROOT" >/dev/null
+  if [ "$BUILD_DIR" = "$ROOT/build" ]; then
+    # The default preset IS this build dir; configuring through it keeps
+    # the database identical to what every other gate analyzes (a bare
+    # `cmake -B` would silently diverge from the preset's cache).
+    cmake --preset default >/dev/null
+  else
+    cmake -B "$BUILD_DIR" -S "$ROOT" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  fi
 fi
 
 if [ ${#FILES[@]} -eq 0 ]; then
   mapfile -t FILES < <(find src tools bench tests -name '*.cpp' | sort)
 fi
 
-JOBS="${ANUFS_JOBS:-$(nproc 2>/dev/null || echo 2)}"
 echo "lint.sh: $TIDY over ${#FILES[@]} files ($JOBS jobs)"
 FAIL=0
 printf '%s\n' "${FILES[@]}" |

@@ -192,6 +192,7 @@ void ClusterSim::deliver(FileSetId fs, double demand,
   const auto it = unavailable_until_.find(fs);
   if (it != unavailable_until_.end() && sched_.now() < it->second) {
     held_[fs].push_back(HeldRequest{original_arrival, demand, op_index});
+    ++held_count_;
   } else {
     route(fs, demand, original_arrival, op_index);
   }
@@ -237,6 +238,7 @@ void ClusterSim::drain_held(FileSetId fs) {
   if (it == held_.end()) return;
   std::vector<HeldRequest> pending = std::move(it->second);
   held_.erase(it);
+  held_count_ -= pending.size();
   for (const HeldRequest& h : pending) {
     route(fs, h.demand, h.time, h.op_index);
   }
@@ -456,9 +458,9 @@ RunResult ClusterSim::run() {
   // Close the conservation ledger: every request the workload issued is
   // completed, lost, queued, held behind a move, or mid-forward. The
   // fault property tests assert this sum for every random plan.
-  for (const auto& [fs, pending] : held_) {
-    result_.held_at_end += pending.size();
-  }
+  // held_count_ is maintained incrementally (deliver/drain_held) so no
+  // unordered container is ever iterated on a RunResult-feeding path.
+  result_.held_at_end += held_count_;
   result_.in_transit_at_end = in_transit_;
   result_.mean_latency = result_.completed == 0
                              ? 0.0

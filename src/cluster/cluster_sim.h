@@ -247,6 +247,11 @@ class ClusterSim {
   // Movement-in-progress bookkeeping.
   std::unordered_map<FileSetId, sim::SimTime> unavailable_until_;
   std::unordered_map<FileSetId, std::vector<HeldRequest>> held_;
+  // Requests currently held across all file sets. Maintained
+  // incrementally so the end-of-run conservation ledger never iterates
+  // the unordered map (D1: RunResult is fed only by deterministic
+  // walks and order-independent counters).
+  std::size_t held_count_ = 0;
   // Routing staleness: file set -> (previous owner, stale until).
   std::unordered_map<FileSetId, std::pair<ServerId, sim::SimTime>> stale_;
   // Failure detection: crash time of silently-dead servers, pending

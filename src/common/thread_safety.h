@@ -1,0 +1,120 @@
+// Clang thread-safety capability annotations, plus annotated wrappers
+// around the standard synchronization primitives.
+//
+// The simulator's concurrency model is deliberately narrow: simulation
+// state is thread-confined (one Scheduler / AnuSystem / TraceSink per
+// run) and the only shared mutable state lives behind explicit locks at
+// the run-granularity boundary (sim::ThreadPool). This header makes
+// that lock discipline a COMPILE-TIME contract instead of a comment:
+// fields carry ANUFS_GUARDED_BY, helpers carry ANUFS_REQUIRES, and any
+// access that the analysis cannot prove to hold the right capability is
+// a hard error under Clang (-Werror=thread-safety, enabled for every
+// Clang build by the top-level CMakeLists).
+//
+// On non-Clang compilers every macro expands to nothing and the
+// wrappers degrade to their std counterparts with zero overhead — GCC
+// builds are unaffected, TSan remains the runtime backstop there.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define ANUFS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ANUFS_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define ANUFS_CAPABILITY(x) ANUFS_THREAD_ANNOTATION(capability(x))
+#define ANUFS_SCOPED_CAPABILITY ANUFS_THREAD_ANNOTATION(scoped_lockable)
+#define ANUFS_GUARDED_BY(x) ANUFS_THREAD_ANNOTATION(guarded_by(x))
+#define ANUFS_PT_GUARDED_BY(x) ANUFS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ANUFS_ACQUIRED_BEFORE(...) \
+  ANUFS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ANUFS_ACQUIRED_AFTER(...) \
+  ANUFS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define ANUFS_REQUIRES(...) \
+  ANUFS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ANUFS_REQUIRES_SHARED(...) \
+  ANUFS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ANUFS_ACQUIRE(...) \
+  ANUFS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ANUFS_ACQUIRE_SHARED(...) \
+  ANUFS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define ANUFS_RELEASE(...) \
+  ANUFS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define ANUFS_RELEASE_SHARED(...) \
+  ANUFS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define ANUFS_TRY_ACQUIRE(...) \
+  ANUFS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define ANUFS_EXCLUDES(...) ANUFS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ANUFS_ASSERT_CAPABILITY(x) \
+  ANUFS_THREAD_ANNOTATION(assert_capability(x))
+#define ANUFS_RETURN_CAPABILITY(x) ANUFS_THREAD_ANNOTATION(lock_returned(x))
+// Escape hatch. Deliberately unused in-tree: findings are fixed, not
+// silenced (the same policy lint.sh applies to NOLINT).
+#define ANUFS_NO_THREAD_SAFETY_ANALYSIS \
+  ANUFS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace anufs::common {
+
+/// std::mutex with a capability the analysis can track. Prefer the
+/// scoped MutexLock over manual lock()/unlock().
+class ANUFS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ANUFS_ACQUIRE() { mu_.lock(); }
+  void unlock() ANUFS_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() ANUFS_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over Mutex; the analysis knows the capability is
+/// held for exactly this object's lifetime. Not movable: a MutexLock
+/// that exists holds its mutex, which is what lets CondVar::wait accept
+/// one without further proof.
+class ANUFS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ANUFS_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() ANUFS_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable waiting on a held MutexLock. Predicates are
+/// expressed as explicit `while (!cond) cv.wait(lock);` loops at the
+/// call site rather than lambdas, so the guarded reads in the condition
+/// sit in the caller's scope where the analysis can see the capability.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`, sleeps, and reacquires before
+  /// returning. Spurious wakeups happen; always wait in a loop.
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace anufs::common

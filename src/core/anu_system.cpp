@@ -38,7 +38,7 @@ std::vector<Measure> proportional_split(Measure total,
       assigned += v;
     }
   }
-  Wide residue = static_cast<Wide>(total) - assigned;
+  const Wide residue = static_cast<Wide>(total) - assigned;
   ANUFS_ENSURES(residue >= 0);
   const std::size_t largest = static_cast<std::size_t>(
       std::max_element(weights.begin(), weights.end()) - weights.begin());

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/attributes.h"
 #include "common/ids.h"
 #include "core/delegate.h"
 #include "core/pairwise_tuner.h"
@@ -71,16 +72,16 @@ class AnuSystem {
   // is confined to one thread — the rule every per-run simulator object
   // already follows (see sim::Scheduler).
 
-  [[nodiscard]] ServerId locate(std::uint64_t fingerprint) const {
+  [[nodiscard]] ANUFS_HOT ServerId locate(std::uint64_t fingerprint) const {
     return cache_.locate(placement_, fingerprint).server;
   }
-  [[nodiscard]] LocateResult locate_detailed(std::uint64_t fp) const {
+  [[nodiscard]] ANUFS_HOT LocateResult locate_detailed(std::uint64_t fp) const {
     return cache_.locate(placement_, fp);
   }
 
   /// The full probe-chain derivation, bypassing the cache (benchmarks
   /// and the cache's own property tests compare against this).
-  [[nodiscard]] LocateResult locate_uncached(std::uint64_t fp) const {
+  [[nodiscard]] ANUFS_HOT LocateResult locate_uncached(std::uint64_t fp) const {
     return placement_.locate(fp);
   }
 

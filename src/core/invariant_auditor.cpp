@@ -56,7 +56,7 @@ InvariantAuditor::Report InvariantAuditor::audit_records(
     const Expectations& expect) {
   g_audits.fetch_add(1, std::memory_order_relaxed);
   Report report;
-  auto fail = [&report](std::string msg) {
+  const auto fail = [&report](std::string msg) {
     report.violations.push_back(std::move(msg));
   };
 
@@ -130,7 +130,7 @@ InvariantAuditor::Report InvariantAuditor::audit(const RegionMap& map) {
   expect.partition_bound = false;
   Report report =
       audit_records(map.space().count(), servers, records, expect);
-  auto fail = [&report](std::string msg) {
+  const auto fail = [&report](std::string msg) {
     report.violations.push_back(std::move(msg));
   };
 
@@ -218,7 +218,7 @@ InvariantAuditor::Report InvariantAuditor::audit(const RegionMap& map) {
 InvariantAuditor::Report InvariantAuditor::audit(const AnuSystem& system) {
   const RegionMap& map = system.regions();
   Report report = audit(map);
-  auto fail = [&report](std::string msg) {
+  const auto fail = [&report](std::string msg) {
     report.violations.push_back(std::move(msg));
   };
 

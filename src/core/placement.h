@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "common/attributes.h"
 #include "common/check.h"
 #include "common/ids.h"
 #include "core/region_map.h"
@@ -62,9 +63,10 @@ class PlacementMap {
 
   /// Resolve a fingerprint to its owning server. Requires at least one
   /// registered server.
-  [[nodiscard]] LocateResult locate(std::uint64_t fingerprint) const;
+  [[nodiscard]] ANUFS_HOT LocateResult locate(std::uint64_t fingerprint) const;
 
-  [[nodiscard]] ServerId locate_server(std::uint64_t fingerprint) const {
+  [[nodiscard]] ANUFS_HOT ServerId locate_server(
+      std::uint64_t fingerprint) const {
     return locate(fingerprint).server;
   }
 

@@ -41,6 +41,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/attributes.h"
 #include "common/check.h"
 #include "core/placement.h"
 #include "obs/trace.h"
@@ -77,8 +78,8 @@ class PlacementCache {
   /// provably still matches the map (same generation, or no touched
   /// partition under its probe chain). Bit-identical to map.locate(fp)
   /// in every field of LocateResult.
-  [[nodiscard]] LocateResult locate(const PlacementMap& map,
-                                    std::uint64_t fp) {
+  [[nodiscard]] ANUFS_HOT LocateResult locate(const PlacementMap& map,
+                                              std::uint64_t fp) {
     const std::uint64_t gen = map.regions().generation();
     if (gen != last_gen_) {
       ++stats_.invalidations;
@@ -138,8 +139,8 @@ class PlacementCache {
   /// fallback entries, the membership list) changed after the entry was
   /// stamped. locate() is a pure function of exactly that state, so an
   /// unchanged chain implies a bit-identical re-derivation.
-  [[nodiscard]] static bool chain_unchanged(const PlacementMap& map,
-                                            const Slot& slot) {
+  [[nodiscard]] static ANUFS_HOT bool chain_unchanged(const PlacementMap& map,
+                                                      const Slot& slot) {
     const RegionMap& regions = map.regions();
     const std::uint64_t stamped = slot.generation;
     if (slot.result.fallback) {

@@ -13,6 +13,8 @@ RegionMap::RegionMap(std::uint32_t n_partitions)
   for (std::uint32_t p = 0; p < space_.count(); ++p) free_.insert(p);
 }
 
+// anufs-lint: safe(G1) accessor: hands out a mutable alias without
+// changing state itself; every mutating caller stamps what it touches.
 RegionMap::ServerRegions& RegionMap::regions_of(ServerId id) {
   const std::uint32_t slot = slot_of(id);
   ANUFS_EXPECTS(slot != kNoSlot);

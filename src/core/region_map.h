@@ -37,6 +37,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/attributes.h"
 #include "common/ids.h"
 #include "core/partition_index.h"
 #include "core/partition_space.h"
@@ -115,7 +116,7 @@ class RegionMap {
   }
 
   /// Stamp of the partition containing position x.
-  [[nodiscard]] std::uint64_t stamp_at(Pos x) const noexcept {
+  [[nodiscard]] ANUFS_HOT std::uint64_t stamp_at(Pos x) const noexcept {
     return part_stamps_[space_.partition_of(x)];
   }
 
@@ -152,7 +153,7 @@ class RegionMap {
   // ---- queries ----------------------------------------------------------
 
   /// Owner of position x, or nullopt when x lies in unmapped space.
-  [[nodiscard]] std::optional<ServerId> owner_at(Pos x) const;
+  [[nodiscard]] ANUFS_HOT std::optional<ServerId> owner_at(Pos x) const;
 
   /// Current measure of a server's mapped region. O(1).
   [[nodiscard]] Measure share(ServerId id) const;

@@ -190,7 +190,11 @@ TuneDecision LatencyTuner::retune(const std::vector<ServerReport>& reports,
     last_threshold_ = memo_threshold_;
     return memo_decision_;
   }
+  return retune_full(reports, regions);
+}
 
+TuneDecision LatencyTuner::retune_full(
+    const std::vector<ServerReport>& reports, const RegionMap& regions) {
   TuneDecision decision;
   decision.system_average = system_average(reports, config_.average);
   const double a = decision.system_average;

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/attributes.h"
 #include "common/ids.h"
 #include "core/region_map.h"
 
@@ -97,8 +98,12 @@ class LatencyTuner {
 
   /// Compute new shares from this interval's reports and the current
   /// region map. Reports must cover exactly the registered servers.
-  [[nodiscard]] TuneDecision retune(const std::vector<ServerReport>& reports,
-                                    const RegionMap& regions);
+  /// Hot by the memo contract: an unchanged round (same map generation,
+  /// bitwise-equal reports) returns the memoized decision without
+  /// walking per-server state; only a changed round drops to the cold
+  /// recompute (retune_full).
+  [[nodiscard]] ANUFS_HOT TuneDecision retune(
+      const std::vector<ServerReport>& reports, const RegionMap& regions);
 
   /// Delegate failover: previous-interval latencies are delegate-local
   /// state and are lost; divergent gating degrades gracefully. Also
@@ -133,6 +138,13 @@ class LatencyTuner {
   }
 
  private:
+  /// The recompute behind retune(): the per-server walk, the
+  /// renormalization, and the memo (re-)arming. Cold: it runs only on
+  /// rounds where the map, the reports, or the history changed, and
+  /// the H1 hot-path lint stops traversal at this boundary.
+  [[nodiscard]] ANUFS_COLD TuneDecision retune_full(
+      const std::vector<ServerReport>& reports, const RegionMap& regions);
+
   /// The t to use this round (auto or configured).
   [[nodiscard]] double choose_threshold(
       const std::vector<ServerReport>& reports, double average) const;

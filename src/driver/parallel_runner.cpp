@@ -1,7 +1,6 @@
 #include "driver/parallel_runner.h"
 
 #include <algorithm>
-#include <chrono>
 #include <ostream>
 #include <string>
 
@@ -65,18 +64,21 @@ std::vector<cluster::RunResult> run_parallel(
 std::vector<cluster::RunResult> run_sweep(const ScenarioConfig& config,
                                           std::ostream& os) {
   const std::vector<ScenarioConfig> runs = expand_sweep(config);
-  const auto start = std::chrono::steady_clock::now();
   // Like run_parallel, but each seed also records where its time went
   // (setup vs event loop); phase clocks run on the worker thread, so
-  // CPU time is the run's own, not the pool's.
+  // CPU time is the run's own, not the pool's. All wall-clock reads go
+  // through obs::PhaseTimer — the one sanctioned timing primitive
+  // (D1: raw clock reads are confined to obs/profile and sim/random).
   std::vector<cluster::RunResult> results(runs.size());
   std::vector<RunProfile> profiles(runs.size());
-  sim::parallel_for(runs.size(), config.jobs, [&](std::size_t i) {
-    results[i] = run_scenario_profiled(runs[i], profiles[i]);
-  });
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  obs::PhaseCost total;
+  {
+    obs::PhaseTimer total_timer(total);
+    sim::parallel_for(runs.size(), config.jobs, [&](std::size_t i) {
+      results[i] = run_scenario_profiled(runs[i], profiles[i]);
+    });
+  }
+  const double wall = total.wall;
 
   obs::PhaseCost aggregate;
   obs::PhaseTimer aggregate_timer(aggregate);

@@ -62,6 +62,8 @@ std::size_t LockTable::reclaim(SessionId session) {
 
 void LockTable::check_consistency() const {
   std::size_t counted = 0;
+  // anufs-lint: safe(D1) order-independent: every lock state is checked
+  // with aborting ENSURES and summed into a commutative count.
   for (const auto& [inode, state] : locks_) {
     ANUFS_ENSURES(!state.holders.empty());
     if (state.mode == LockMode::kExclusive) {
@@ -76,6 +78,7 @@ void LockTable::check_consistency() const {
   }
   ANUFS_ENSURES(counted == total_);
   std::size_t reverse = 0;
+  // anufs-lint: safe(D1) order-independent: commutative size sum.
   for (const auto& [s, inodes] : by_session_) reverse += inodes.size();
   ANUFS_ENSURES(reverse == total_);
 }

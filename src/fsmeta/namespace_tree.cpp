@@ -241,6 +241,8 @@ void NamespaceTree::serialize(std::ostream& os) const {
   // Deterministic: id-sorted inodes, then name-sorted entries per dir.
   std::vector<InodeId> ids;
   ids.reserve(inodes_.size());
+  // anufs-lint: safe(D1) collect-then-sort: ids are sorted immediately
+  // below, so the serialized order never depends on hash layout.
   for (const auto& [id, node] : inodes_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
   for (const InodeId id : ids) {
@@ -333,6 +335,8 @@ void NamespaceTree::check_consistency() const {
   // Every directory entry references a live inode; every non-root inode
   // is referenced exactly once (no hard links in this model).
   std::unordered_map<InodeId, std::uint32_t> refs;
+  // anufs-lint: safe(D1) order-independent: builds a refcount map and
+  // checks it with aborting ENSURES; no output depends on visit order.
   for (const auto& [id, node] : inodes_) {
     for (const auto& [name, child] : node.entries) {
       ANUFS_ENSURES(node.attrs.type == FileType::kDirectory);
@@ -340,6 +344,7 @@ void NamespaceTree::check_consistency() const {
       ++refs[child];
     }
   }
+  // anufs-lint: safe(D1) order-independent: per-inode aborting checks.
   for (const auto& [id, node] : inodes_) {
     if (id == kRootInode) {
       ANUFS_ENSURES(refs[id] == 0);

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "common/attributes.h"
 #include "hash/mix64.h"
 #include "hash/unit_interval.h"
 
@@ -28,8 +29,8 @@ class HashFamily {
   explicit constexpr HashFamily(std::uint64_t salt = 0) : salt_(salt) {}
 
   /// Position of probe round `round` for fingerprint `fp`.
-  [[nodiscard]] constexpr Pos probe(std::uint64_t fp,
-                                    std::uint32_t round) const {
+  [[nodiscard]] constexpr ANUFS_HOT Pos probe(std::uint64_t fp,
+                                              std::uint32_t round) const {
     const std::uint64_t tweak =
         (static_cast<std::uint64_t>(round) * 2 + 1) * 0x9E3779B97F4A7C15ULL;
     const std::uint64_t x = fp ^ salt_ ^ tweak;
@@ -44,8 +45,8 @@ class HashFamily {
 
   /// The direct-to-server fallback hash used after `max_rounds` failed
   /// probes: maps the fingerprint to an index in [0, n_servers).
-  [[nodiscard]] std::uint32_t fallback_server(std::uint64_t fp,
-                                              std::uint32_t n_servers) const;
+  [[nodiscard]] ANUFS_HOT std::uint32_t fallback_server(
+      std::uint64_t fp, std::uint32_t n_servers) const;
 
   [[nodiscard]] constexpr std::uint64_t salt() const noexcept {
     return salt_;

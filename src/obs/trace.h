@@ -42,6 +42,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/attributes.h"
+
 namespace anufs::obs {
 
 /// Event categories, selectable per sink (--trace-categories a,b).
@@ -97,7 +99,7 @@ class TraceSink {
   explicit TraceSink(std::uint32_t category_mask = kAllCategories,
                      std::size_t capacity = 1u << 16);
 
-  [[nodiscard]] bool wants(Category c) const noexcept {
+  [[nodiscard]] ANUFS_HOT bool wants(Category c) const noexcept {
     return (mask_ & static_cast<std::uint32_t>(c)) != 0;
   }
 
@@ -106,8 +108,10 @@ class TraceSink {
   /// time in simulated terms).
   void set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
 
-  void record(Category c, const char* name,
-              std::initializer_list<Field> fields);
+  /// Hot by the overhead policy above: appends one POD event to the
+  /// pre-sized ring — no allocation, ever (H1-checked).
+  ANUFS_HOT void record(Category c, const char* name,
+                        std::initializer_list<Field> fields);
 
   /// Surviving events, oldest first.
   [[nodiscard]] std::vector<TraceEvent> events() const;

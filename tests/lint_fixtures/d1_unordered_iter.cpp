@@ -1,0 +1,36 @@
+// D1 fixture: iteration over unordered containers must fire, whether
+// the container is a member or a local, by range-for over the raw name.
+// NOT compiled — scanned by anufs_lint only.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Ledger {
+  std::unordered_map<std::uint64_t, std::uint64_t> held_by_id_;
+  std::unordered_set<std::uint64_t> dirty_;
+
+  std::uint64_t summarize() const {
+    std::uint64_t out = 0;
+    for (const auto& [id, count] : held_by_id_) {  // expect-lint: D1
+      out += count ^ id;  // order-dependent: xor of (id ^ count) is not
+    }
+    for (const std::uint64_t id : dirty_) {  // expect-lint: D1
+      out = out * 31 + id;
+    }
+    return out;
+  }
+};
+
+inline std::uint64_t local_iteration() {
+  std::unordered_map<int, int> scratch;
+  scratch[1] = 2;
+  std::uint64_t sum = 0;
+  for (const auto& [k, v] : scratch) {  // expect-lint: D1
+    sum = sum * 7 + static_cast<std::uint64_t>(k + v);
+  }
+  return sum;
+}
+
+}  // namespace fixture

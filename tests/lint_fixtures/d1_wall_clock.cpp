@@ -1,0 +1,30 @@
+// D1 fixture: ambient randomness and wall-clock reads outside
+// sim/random and obs/profile must fire. NOT compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+inline double ambient_clock() {
+  const auto t0 = std::chrono::steady_clock::now();  // expect-lint: D1
+  const auto t1 = std::chrono::system_clock::now();  // expect-lint: D1
+  (void)t1;
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now() - t0)  // expect-lint: D1
+      .count();
+}
+
+inline int ambient_randomness() {
+  std::random_device rd;           // expect-lint: D1
+  return rd() + rand();            // expect-lint: D1
+}
+
+inline long ambient_time() {
+  timespec ts{};
+  clock_gettime(0, &ts);           // expect-lint: D1
+  return static_cast<long>(std::time(nullptr)) + ts.tv_sec;  // expect-lint: D1
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// G1 fixture: a mutating RegionMap method that never bumps a
+// generation stamp must fire; stamping (directly or via touch()/a
+// stamping callee) and const accessors must not. NOT compiled.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class RegionMap {
+ public:
+  void stamped_mutation(std::uint32_t p) {
+    parts_[p] = 1;
+    touch(p);  // clean: stamps the partition
+  }
+
+  void transitive_mutation(std::uint32_t p) {
+    stamped_mutation(p);  // clean: callee stamps
+  }
+
+  void silent_mutation(std::uint32_t p) {  // expect-lint: G1
+    parts_[p] = 0;
+  }
+
+  std::uint32_t read_only(std::uint32_t p) const { return parts_[p]; }
+
+ private:
+  void touch(std::uint32_t p) { part_stamps_[p] = ++generation_; }
+
+  std::vector<std::uint32_t> parts_;
+  std::vector<std::uint64_t> part_stamps_;
+  std::uint64_t generation_ = 1;
+};
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// H1 fixture: ANUFS_HOT functions must not reach allocation or
+// throwing-container operations, directly or transitively; an
+// ANUFS_COLD callee is a traversal boundary. NOT compiled — the
+// attribute macros are matched as tokens, so no include is needed.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#define ANUFS_HOT
+#define ANUFS_COLD
+
+namespace fixture {
+
+struct Table {
+  std::vector<std::uint64_t> rows_;
+
+  ANUFS_HOT void hot_append(std::uint64_t v) {
+    rows_.push_back(v);  // expect-lint: H1
+  }
+
+  void helper_allocates() {
+    auto* leak = new std::uint64_t[4];  // expect-lint: H1
+    delete[] leak;
+    std::map<int, int> scratch;  // expect-lint: H1
+    (void)scratch;
+  }
+
+  ANUFS_HOT void hot_transitive() { helper_allocates(); }
+
+  ANUFS_COLD void cold_grow() {
+    rows_.reserve(rows_.size() * 2 + 16);  // clean: never traversed hot
+  }
+
+  ANUFS_HOT std::uint64_t hot_with_cold_boundary(std::uint64_t v) {
+    if (rows_.size() == rows_.capacity()) cold_grow();
+    return rows_.empty() ? v : rows_.back() + v;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// T1 fixture: an ANUFS_TRACE call site naming a category that does not
+// exist in obs/trace.h must fire; a real category must not. NOT
+// compiled — ANUFS_TRACE is matched as a token.
+#define ANUFS_TRACE(category, name, ...) ((void)0)
+
+namespace fixture {
+
+inline void emit() {
+  ANUFS_TRACE(obs::Category::kSched, "pool_grow", {"slots", 1});  // clean
+  ANUFS_TRACE(obs::Category::kBogus, "made_up", {"x", 2});  // expect-lint: T1
+}
+
+}  // namespace fixture

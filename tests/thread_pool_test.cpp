@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace anufs::sim {
@@ -42,6 +44,26 @@ TEST(ThreadPool, DestructorDrainsPendingTasks) {
     }
   }
   EXPECT_EQ(count.load(), 50);
+}
+
+// Regression: the destructor used to raise stopping_ BEFORE draining,
+// so a task that exercised the documented recursive-submit contract
+// while the pool was being torn down hit submit()'s !stopping_
+// precondition and aborted. Shutdown now drains to idle (follow-on
+// work included) before stopping.
+TEST(ThreadPool, DestructorDrainsRecursiveSubmits) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    pool.submit([&] {
+      // Give the destructor time to begin shutdown before the nested
+      // submit happens; the result must be the same either way.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      pool.submit([&ran] { ran.fetch_add(1); });
+      ran.fetch_add(1);
+    });
+  }
+  EXPECT_EQ(ran.load(), 2);
 }
 
 TEST(ThreadPool, ZeroThreadsClampsToOne) {
