@@ -9,9 +9,11 @@
 #include <vector>
 
 #include "core/anu_system.h"
+#include "core/placement_cache.h"
 #include "core/tuner.h"
 #include "hash/hash_family.h"
 #include "obs/trace.h"
+#include "serve/snapshot.h"
 #include "sim/random.h"
 #include "sim/scheduler.h"
 
@@ -83,6 +85,40 @@ void BM_LocateCached(benchmark::State& state) {
   state.counters["hit_rate"] = stats.hit_rate();
 }
 BENCHMARK(BM_LocateCached)->Arg(5)->Arg(64)->Arg(512);
+
+// The serving hot path (src/serve): pin a published snapshot, run one
+// batch of cached lookups against its map, release the pin. This is
+// exactly one reader-loop iteration of serve::LookupService, so the
+// items/s rate is the single-thread ceiling of `anufs_serve`; the
+// multi-thread number is measured live by the tool and the serve-smoke
+// gate. The epoch pin/unpin amortizes across the batch — growing the
+// batch should leave the per-item cost flat at the BM_LocateCached
+// floor.
+void BM_ServeLocate(benchmark::State& state) {
+  const auto batch = static_cast<std::uint32_t>(state.range(0));
+  std::vector<ServerId> servers;
+  for (std::uint32_t i = 0; i < 16; ++i) servers.push_back(ServerId{i});
+  core::AnuSystem system{core::AnuConfig{}, servers};
+  serve::SnapshotStore store(/*max_readers=*/1);
+  store.publish(system.placement());
+  core::PlacementCache cache(16384);
+  const std::vector<std::uint64_t> fps = working_set_fps();
+  std::size_t i = 0;
+  std::uint64_t folded = 0;
+  for (auto _ : state) {
+    const serve::Snapshot* snap = store.acquire(0);
+    for (std::uint32_t k = 0; k < batch; ++k) {
+      folded ^= cache.locate(snap->map, fps[i]).server.value;
+      i = (i + 1) & (kWorkingSet - 1);
+    }
+    store.release(0);
+  }
+  benchmark::DoNotOptimize(folded);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * batch);
+  state.counters["hit_rate"] = cache.stats().hit_rate();
+}
+BENCHMARK(BM_ServeLocate)->Arg(1)->Arg(64)->Arg(256);
 
 void BM_SchedulerThroughput(benchmark::State& state) {
   sim::Scheduler sched;

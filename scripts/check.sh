@@ -23,13 +23,18 @@
 #             walk, auditor forced on) from the default preset's build
 #             — a fast tripwire for anyone touching the tuner or
 #             region map without running the full property suite
+#   serve-smoke  a 2-thread 1-second anufs_serve run (default preset's
+#             build) with --check: readers under live control-plane
+#             churn, every sample replayed sequentially; fails on zero
+#             throughput or any equivalence mismatch and logs the run's
+#             equivalence digest
 #
-# Tests carry ctest labels (unit | property | golden | stress; see
-# tests/CMakeLists.txt). default and sanitize run every label; the tsan
-# preset excludes `golden` (byte-exact output diffs add nothing to a
-# race hunt and TSan slows the replays ~10x) while keeping unit,
-# property, and stress — the fault property suite must stay race-clean
-# and bit-identical under TSan too.
+# Tests carry ctest labels (unit | property | golden | stress |
+# bench-smoke | lint; see tests/CMakeLists.txt). default and sanitize
+# run every label; the tsan preset excludes only `bench-smoke` (timing
+# under TSan is meaningless) — golden byte-diffs, the fault property
+# suite, and the serving-mode concurrency battery all must stay
+# race-clean and bit-identical under TSan too.
 #
 #   ./scripts/check.sh                # all of the above
 #   ./scripts/check.sh default        # one preset
@@ -54,7 +59,7 @@ for arg in "$@"; do
   fi
 done
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(default trace-smoke retune-smoke static sanitize tsan lint)
+  STAGES=(default trace-smoke retune-smoke serve-smoke static sanitize tsan lint)
 fi
 
 for stage in "${STAGES[@]}"; do
@@ -97,6 +102,26 @@ for stage in "${STAGES[@]}"; do
     fi
     ANUFS_AUDIT=1 build/tests/retune_equivalence_test \
       --gtest_filter='RetuneEquivalence.IncrementalMatchesFullWalkAt64'
+    continue
+  fi
+  if [ "$stage" = serve-smoke ]; then
+    # Needs the default preset built (runs after `default` in the full
+    # gate; standalone invocations build the one tool on demand).
+    echo "== serve-smoke"
+    if [ ! -x build/tools/anufs_serve ]; then
+      cmake --preset default
+      cmake --build --preset default -j "$JOBS" --target anufs_serve_cli
+    fi
+    SERVE_OUT="$(build/tools/anufs_serve --threads 2 --seconds 1 --check)"
+    echo "$SERVE_OUT"
+    # --check already fails the stage on any equivalence mismatch
+    # (non-zero exit); additionally require real throughput — a serve
+    # run that completed zero lookups is a hang or a dead reader pool,
+    # not a pass.
+    echo "$SERVE_OUT" | grep -Eq 'serve: 2 threads, [0-9.]+ s, [1-9][0-9]* lookups' \
+      || { echo "serve-smoke: no lookups served" >&2; exit 1; }
+    echo "$SERVE_OUT" | grep -Eq 'equivalence: .* digest [0-9a-f]+ -> OK' \
+      || { echo "serve-smoke: missing equivalence digest" >&2; exit 1; }
     continue
   fi
   echo "== configure: $stage"

@@ -47,6 +47,7 @@ void RegionMap::add_server(ServerId id) {
   ++generation_;
   membership_stamp_ = generation_;
   detail::maybe_audit(*this);
+  notify_mutation();
 }
 
 void RegionMap::remove_server(ServerId id) {
@@ -64,6 +65,7 @@ void RegionMap::remove_server(ServerId id) {
   alive_ids_.erase(
       std::find(alive_ids_.begin(), alive_ids_.end(), id));
   detail::maybe_audit(*this);
+  notify_mutation();
 }
 
 std::vector<ServerId> RegionMap::server_ids() const { return alive_ids_; }
@@ -167,6 +169,7 @@ void RegionMap::resize_step(ServerId id, Measure target) {
 void RegionMap::resize(ServerId id, Measure target) {
   resize_step(id, target);
   detail::maybe_audit(*this);
+  notify_mutation();
 }
 
 std::uint32_t RegionMap::rebalance_to(
@@ -197,6 +200,9 @@ std::uint32_t RegionMap::rebalance_to(
   }
   ANUFS_ENSURES(total_ <= hash::kHalfInterval);
   detail::maybe_audit(*this);
+  // One notification per batch, not per member: the hook observes op
+  // boundaries (valid configurations), never mid-rebalance states.
+  notify_mutation();
   return touched;
 }
 
@@ -244,6 +250,7 @@ void RegionMap::repartition_double() {
     }
   }
   detail::maybe_audit(*this);
+  notify_mutation();
 }
 
 std::optional<ServerId> RegionMap::owner_at(Pos x) const {

@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -175,6 +176,28 @@ class RegionMap {
   /// after every mutating operation in debug-heavy paths).
   void check_invariants() const;
 
+  // ---- mutation notification (serving mode; see src/serve) ---------------
+
+  /// Install a post-mutation publication hook, fired exactly once at the
+  /// tail of every public mutator (add_server / remove_server / resize /
+  /// rebalance_to / repartition_double) after all stamps are advanced and
+  /// audits have run — i.e. at the first point where the map is a valid,
+  /// fully-stamped configuration an observer may copy. The serving
+  /// writer uses it to mark the live map dirty so a snapshot is
+  /// published before the next reader-visible instant; rule G1
+  /// (tools/anufs_lint.py) is the static guard that the hook sites and
+  /// the stamp sites are the same set — a mutator that forgot to stamp
+  /// (and so could also skip publication-by-generation-compare) cannot
+  /// land. The hook must not re-enter the map. Not fired by restore()
+  /// (a from-scratch builder: no observer can hold a reference yet) and
+  /// deliberately dropped from snapshot copies by the publisher, so an
+  /// immutable snapshot can never fire it.
+  // anufs-lint: safe(G1) installs the observer; mutates no mapped state,
+  // so there is no stamp to advance.
+  void set_mutation_hook(std::function<void()> hook) {
+    mutation_hook_ = std::move(hook);
+  }
+
   // ---- serialization support (see core/replication.h) -------------------
 
   /// One partition's persisted state.
@@ -227,6 +250,13 @@ class RegionMap {
   /// mutation currently stamping `generation_`.
   void touch(std::uint32_t p) { part_stamps_[p] = generation_; }
 
+  /// Fire the publication hook (tail of every public mutator).
+  // anufs-lint: safe(G1) notification fan-out: runs strictly after the
+  // caller advanced its stamps; mutates no mapped state itself.
+  void notify_mutation() {
+    if (mutation_hook_) mutation_hook_();
+  }
+
   void grow(ServerId id, ServerRegions& sr, Measure delta);
   void shrink(ServerRegions& sr, Measure delta);
   // Claim the lowest-numbered free partition for `id` with `fill` measure.
@@ -254,6 +284,10 @@ class RegionMap {
   // generation-stamped caches.
   std::uint64_t generation_ = 1;
   std::uint64_t membership_stamp_ = 0;
+  // Copying a RegionMap copies the hook too (std::function is
+  // copyable); the snapshot publisher clears it on its immutable copy
+  // (serve/snapshot.cpp) so only the one live map ever fires it.
+  std::function<void()> mutation_hook_;
 };
 
 }  // namespace anufs::core

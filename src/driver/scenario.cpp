@@ -17,6 +17,7 @@
 #include "metrics/emit.h"
 #include "obs/export.h"
 #include "policies/anu_policy.h"
+#include "serve/lookup_service.h"
 #include "policies/consistent_hash.h"
 #include "policies/prescient.h"
 #include "policies/round_robin.h"
@@ -163,8 +164,9 @@ workload::Workload build_workload(const ScenarioConfig& c) {
   std::abort();
 }
 
-std::unique_ptr<policy::PlacementPolicy> build_policy(
-    const ScenarioConfig& c, const workload::Workload& work) {
+/// The scenario's ANU knobs as one config; shared by the simulated run
+/// (build_policy) and the serving phase so both tune identically.
+core::AnuConfig make_anu_config(const ScenarioConfig& c) {
   core::AnuConfig anu_config;
   if (c.auto_threshold) anu_config.tuner.auto_threshold = true;
   if (c.threshold >= 0) anu_config.tuner.threshold = c.threshold;
@@ -175,6 +177,12 @@ std::unique_ptr<policy::PlacementPolicy> build_policy(
   if (c.pairwise || c.policy == "anu-pairwise") {
     anu_config.mode = core::TunerMode::kDecentralizedPairwise;
   }
+  return anu_config;
+}
+
+std::unique_ptr<policy::PlacementPolicy> build_policy(
+    const ScenarioConfig& c, const workload::Workload& work) {
+  const core::AnuConfig anu_config = make_anu_config(c);
   if (c.policy == "anu" || c.policy == "anu-pairwise") {
     return std::make_unique<policy::AnuPolicy>(anu_config);
   }
@@ -355,6 +363,14 @@ ScenarioConfig parse_scenario(std::istream& is,
       if (config.jobs == 0) config_failure(ctx, "jobs must be >= 1");
     } else if (key == "sweep") {
       parse_sweep(want("seed=A..B"), config, ctx);
+    } else if (key == "serve_threads") {
+      config.serve_threads = parse_u32(want("count"), ctx, "serve_threads");
+    } else if (key == "serve_seconds") {
+      config.serve_seconds =
+          parse_double(want("seconds"), ctx, "serve_seconds");
+      if (config.serve_seconds <= 0) {
+        config_failure(ctx, "serve_seconds must be > 0");
+      }
     } else {
       config_failure(ctx, "unknown key '" + key + "'");
     }
@@ -369,8 +385,40 @@ ScenarioConfig parse_scenario_text(const std::string& text) {
 
 namespace {
 
+/// Outcome of the optional real-time serving phase.
+struct ServePhase {
+  serve::ServeResult result;
+  serve::EquivalenceReport equivalence;
+};
+
+/// Stand up the concurrent lookup service shaped by the scenario (same
+/// seed, file_sets, fault plan, and ANU knobs as the simulated run),
+/// serve for the configured window, then replay the recorded control-
+/// plane log sequentially and require every concurrently-served sample
+/// bit-identical. A divergent answer is a correctness bug, not a
+/// degraded result — it aborts the scenario like any other violated
+/// invariant.
+ServePhase run_serve_phase(const ScenarioConfig& config) {
+  serve::ServeConfig sc;
+  sc.threads = config.serve_threads;
+  sc.seconds = config.serve_seconds;
+  if (config.seed > 0) sc.seed = config.seed;
+  sc.n_servers =
+      static_cast<std::uint32_t>(config.cluster.server_speeds.size());
+  if (config.file_sets > 0) sc.file_sets = config.file_sets;
+  sc.anu = make_anu_config(config);
+  sc.faults = config.faults;
+  serve::LookupService service(std::move(sc));
+  ServePhase phase;
+  phase.result = service.run();
+  phase.equivalence = service.check_equivalence();
+  ANUFS_ENSURES(phase.equivalence.ok());
+  return phase;
+}
+
 cluster::RunResult run_built(const ScenarioConfig& config,
-                             std::string* policy_name, RunProfile* profile) {
+                             std::string* policy_name, RunProfile* profile,
+                             std::optional<ServePhase>* serve_out = nullptr) {
   // Tracing: one sink, installed for THIS thread only (a parallel sweep
   // worker traces exactly its own run). The sink is passive — it never
   // schedules, draws randomness, or reorders anything — so the run
@@ -422,14 +470,30 @@ cluster::RunResult run_built(const ScenarioConfig& config,
     result = sim.run();
   }
 
+  // Serving phase after the simulated run (real threads, wall-clock):
+  // the sim proves placement quality, this proves the addressing hot
+  // path serves it concurrently without changing an answer.
+  std::optional<ServePhase> serve_phase;
+  if (config.serve_threads > 0) {
+    serve_phase.emplace(run_serve_phase(config));
+  }
+  if (serve_out != nullptr) *serve_out = serve_phase;
+
   if (sink.has_value()) {
     // Drain the ring FIRST: the metrics harvest reads the sink's health
     // counters (recorded/dropped), and harvesting before the final
     // flush would miss anything recorded in between — the snapshot
     // below is the flush, so trace.* and the exported events agree.
     const std::vector<obs::TraceEvent> events = sink->events();
-    const obs::Registry registry =
+    obs::Registry registry =
         collect_run_metrics(config, result, pol.get(), &*sink);
+    if (serve_phase.has_value()) {
+      serve::LookupService::harvest(serve_phase->result, registry);
+      registry.counter("serve_equivalence_checked")
+          .set(serve_phase->equivalence.samples_checked);
+      registry.counter("serve_equivalence_digest")
+          .set(serve_phase->equivalence.digest);
+    }
     const bool ok =
         obs::write_text_file(config.trace_path, obs::to_jsonl(events)) &&
         obs::write_text_file(config.trace_path + ".chrome.json",
@@ -458,7 +522,9 @@ cluster::RunResult run_scenario_profiled(const ScenarioConfig& config,
 cluster::RunResult run_scenario(const ScenarioConfig& config,
                                 std::ostream& os) {
   std::string policy_name;
-  cluster::RunResult result = run_built(config, &policy_name, nullptr);
+  std::optional<ServePhase> serve_phase;
+  cluster::RunResult result =
+      run_built(config, &policy_name, nullptr, &serve_phase);
 
   os << "# scenario: workload=" << config.workload
      << " policy=" << policy_name << " servers="
@@ -494,6 +560,20 @@ cluster::RunResult run_scenario(const ScenarioConfig& config,
     os << "san busy " << result.san_busy << " s, wasted-idle "
        << result.san_wasted_idle << " s, end-to-end "
        << result.san_mean_end_to_end * 1e3 << " ms\n";
+  }
+  if (serve_phase.has_value()) {
+    const serve::ServeResult& s = serve_phase->result;
+    const serve::EquivalenceReport& eq = serve_phase->equivalence;
+    os << "serving " << s.threads << " threads x "
+       << metrics::TableEmitter::num(s.seconds) << " s: " << s.lookups
+       << " lookups ("
+       << metrics::TableEmitter::num(s.lookups_per_second / 1e6)
+       << "M/s), cache hit rate "
+       << metrics::TableEmitter::num(s.cache.hit_rate()) << ", p99 "
+       << metrics::TableEmitter::num(s.p99_ns) << " ns, " << s.ops_applied
+       << " control-plane ops, generation " << s.final_generation << "\n";
+    os << "serving equivalence OK: " << eq.samples_checked
+       << " samples replayed bit-identical (digest " << eq.digest << ")\n";
   }
   return result;
 }

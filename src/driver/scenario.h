@@ -36,6 +36,14 @@
 //                              #   fault,sched (default all)
 //   jobs 4                     # worker threads for sweeps (default 1)
 //   sweep seed=1..10           # run once per seed in 1..10 (inclusive)
+//   serve_threads 8            # 0 = off; else append a real-time
+//                              #   serving phase (src/serve) after the
+//                              #   simulated run: N reader threads of
+//                              #   concurrent cached lookups under
+//                              #   epoch-snapshot control-plane churn,
+//                              #   equivalence-checked against a
+//                              #   sequential replay
+//   serve_seconds 2            # serving window (wall-clock seconds)
 //
 // The `fail`/`recover`/`add` membership script and the fault plan both
 // inject membership churn; they compose, but a server they both touch
@@ -101,6 +109,16 @@ struct ScenarioConfig {
   std::uint64_t sweep_begin = 0;
   std::uint64_t sweep_end = 0;
   [[nodiscard]] bool is_sweep() const noexcept { return sweep_end != 0; }
+  /// Serving phase (src/serve): serve_threads > 0 appends a REAL-TIME
+  /// concurrent serving run after the simulated one — serve_threads
+  /// reader threads issue cached locates against a live AnuSystem while
+  /// a writer churns the control plane through epoch snapshots. The
+  /// scenario's seed, file_sets, fault plan, and ANU knobs shape it;
+  /// its serve_* metrics join the exported registry, and the phase
+  /// aborts the scenario if the sequential-replay equivalence check
+  /// finds a divergent answer.
+  std::uint32_t serve_threads = 0;
+  double serve_seconds = 1.0;
 };
 
 /// Parse a scenario; aborts with a <source>:<line>: <token> diagnostic

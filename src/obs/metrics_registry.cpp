@@ -37,6 +37,24 @@ void Histogram::record(double v) {
   sum_ += v;
 }
 
+void Histogram::merge(const Histogram& other) {
+  ANUFS_EXPECTS(base_ == other.base_);
+  ANUFS_EXPECTS(counts_.size() == other.counts_.size());
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 Histogram& Registry::histogram(const std::string& name, double base,
                                std::size_t bucket_count) {
   const auto it = histograms_.find(name);

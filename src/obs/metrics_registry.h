@@ -62,6 +62,13 @@ class Histogram {
 
   void record(double v);
 
+  /// Fold another histogram with IDENTICAL bucketing (same base, same
+  /// bucket count — aborts otherwise) into this one, bucket-by-bucket.
+  /// This is the mergeability the fixed boundaries exist for: per-thread
+  /// histograms (serving-mode readers) and per-seed histograms (sweeps)
+  /// combine into one distribution without re-recording any value.
+  void merge(const Histogram& other);
+
   /// Inclusive lower bound of bucket `i` (0 for the underflow bucket).
   [[nodiscard]] double lower_bound(std::size_t i) const;
 

@@ -1,0 +1,62 @@
+#include "serve/snapshot.h"
+
+namespace anufs::serve {
+
+SnapshotStore::SnapshotStore(std::size_t max_readers)
+    : epochs_(max_readers) {}
+
+SnapshotStore::~SnapshotStore() {
+  // Contract: all readers have been joined; nothing is pinned. Every
+  // retired snapshot and the current one are writer-owned again.
+  for (const auto& [snap, stamp] : retired_) {
+    (void)stamp;
+    delete snap;
+    ++freed_;
+  }
+  retired_.clear();
+  delete current_.load(std::memory_order_seq_cst);
+}
+
+void SnapshotStore::publish(const core::PlacementMap& map) {
+  auto* snap = new Snapshot{map, map.regions().generation(), published_};
+  // The value copy above copies the live map's mutation hook too
+  // (std::function is copyable); clear it so the frozen snapshot can
+  // never notify anyone — it is immutable from here on.
+  snap->map.regions().set_mutation_hook(nullptr);
+  const Snapshot* old =
+      current_.exchange(snap, std::memory_order_seq_cst);
+  ++published_;
+  last_generation_ = snap->generation;
+  if (old != nullptr) {
+    // Stamp AFTER the swap: any reader that can still hold `old` pinned
+    // an epoch below this stamp (see the ordering argument in epoch.h).
+    retired_.emplace_back(old, epochs_.advance());
+  }
+  reclaim();
+}
+
+bool SnapshotStore::publish_if_changed(const core::PlacementMap& map) {
+  const std::uint64_t gen = map.regions().generation();
+  if (published_ != 0 && gen == last_generation_) return false;
+  // Generations only grow; observing a smaller one would mean we were
+  // handed a different map object than last time.
+  ANUFS_EXPECTS(published_ == 0 || gen > last_generation_);
+  publish(map);
+  return true;
+}
+
+void SnapshotStore::reclaim() {
+  if (retired_.empty()) return;
+  const std::uint64_t min_active = epochs_.min_active();
+  // Retirement stamps are monotone, so the reclaimable set is a prefix.
+  std::size_t keep = 0;
+  while (keep < retired_.size() && retired_[keep].second <= min_active) {
+    delete retired_[keep].first;
+    ++freed_;
+    ++keep;
+  }
+  retired_.erase(retired_.begin(),
+                 retired_.begin() + static_cast<std::ptrdiff_t>(keep));
+}
+
+}  // namespace anufs::serve

@@ -1,0 +1,72 @@
+// Real-time pacing for serving-mode loops.
+//
+// The simulator's own clock is virtual (sim/time.h); serving mode is
+// the one place the project runs against WALL time — real threads, real
+// QPS, real tail latency. Pacer turns a target rate into a sequence of
+// absolute deadlines on the steady clock and sleeps the caller up to
+// each one, absorbing scheduling jitter without drift: deadlines are
+// derived from the epoch start, not from "now", so a late tick borrows
+// from its slack instead of shifting every later tick.
+//
+// Determinism note (rule D1): this header reads steady_clock and is on
+// the linter's exempt list alongside obs/profile — wall time here paces
+// and measures, it never feeds a simulation result. Serving-mode
+// placements stay bit-identical to the sequential simulator regardless
+// of timing (tests/serve_equivalence_test.cpp); only throughput numbers
+// are machine-local.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/check.h"
+
+namespace anufs::sim {
+
+/// Deadline-based rate limiter for one thread's loop. A rate of 0 or
+/// below disables pacing (pace() returns immediately), which is the
+/// "as fast as the hardware allows" mode benchmarks use.
+class Pacer {
+ public:
+  explicit Pacer(double per_second)
+      : interval_(per_second > 0.0
+                      ? std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(1.0 / per_second))
+                      : Clock::duration::zero()),
+        next_(Clock::now() + interval_) {}
+
+  /// Block until this tick's deadline (no-op when unpaced or already
+  /// past it), then arm the next deadline.
+  void pace() {
+    if (interval_ == Clock::duration::zero()) return;
+    std::this_thread::sleep_until(next_);
+    next_ += interval_;
+  }
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return interval_ != Clock::duration::zero();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::duration interval_;
+  Clock::time_point next_;
+};
+
+/// Monotonic nanosecond stamp for latency measurement (serving mode's
+/// histograms). Cheap enough to call per batch; never per 2.7 ns lookup.
+[[nodiscard]] inline std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Seconds between two monotonic_ns() stamps.
+[[nodiscard]] inline double ns_to_seconds(std::uint64_t begin_ns,
+                                          std::uint64_t end_ns) noexcept {
+  return static_cast<double>(end_ns - begin_ns) * 1e-9;
+}
+
+}  // namespace anufs::sim

@@ -1,0 +1,66 @@
+// H1 fixture: blocking calls (mutex locks, condition waits, sleeps,
+// thread joins) are banned from ANUFS_HOT call graphs — a hot path that
+// can park its thread is not a hot path. This is the static guard on
+// the serving-mode promise that readers never block on the control
+// plane. NOT compiled — the attribute macros are matched as tokens.
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#define ANUFS_HOT
+#define ANUFS_COLD
+
+namespace fixture {
+
+struct Channel {
+  std::mutex mu_;
+  std::condition_variable ready_;
+  std::thread worker_;
+  int value_ = 0;
+
+  ANUFS_HOT int hot_locks() {
+    mu_.lock();  // expect-lint: H1
+    const int v = value_;
+    mu_.unlock();
+    return v;
+  }
+
+  ANUFS_HOT int hot_lock_guard() {
+    std::lock_guard<std::mutex> lk(mu_);  // expect-lint: H1
+    return value_;
+  }
+
+  void helper_waits() {
+    std::unique_lock<std::mutex> lk(mu_);  // expect-lint: H1
+    ready_.wait(lk);  // expect-lint: H1
+  }
+
+  ANUFS_HOT int hot_transitive_wait() {
+    helper_waits();
+    return value_;
+  }
+
+  ANUFS_HOT void hot_sleeps() {
+    std::this_thread::sleep_for(  // expect-lint: H1
+        std::chrono::milliseconds(1));
+  }
+
+  ANUFS_HOT void hot_joins() {
+    if (worker_.joinable()) worker_.join();  // expect-lint: H1
+  }
+
+  ANUFS_COLD void cold_shutdown() {
+    // Clean: an explicit slow-path boundary may block (this is exactly
+    // how the serving harness shuts down with readers mid-epoch).
+    std::lock_guard<std::mutex> lk(mu_);
+    if (worker_.joinable()) worker_.join();
+  }
+
+  ANUFS_HOT int hot_with_cold_boundary() {
+    if (value_ < 0) cold_shutdown();
+    return value_;
+  }
+};
+
+}  // namespace fixture

@@ -62,6 +62,40 @@ emit series
   EXPECT_TRUE(c.emit_series);
 }
 
+TEST(ScenarioParse, ServingKeys) {
+  const ScenarioConfig off = parse_scenario_text("");
+  EXPECT_EQ(off.serve_threads, 0u);  // serving phase defaults to off
+  const ScenarioConfig c = parse_scenario_text(R"(
+serve_threads 8
+serve_seconds 0.25
+)");
+  EXPECT_EQ(c.serve_threads, 8u);
+  EXPECT_EQ(c.serve_seconds, 0.25);
+}
+
+TEST(ScenarioParseDeathTest, ServeSecondsMustBePositive) {
+  EXPECT_DEATH((void)parse_scenario_text("serve_seconds 0\n"),
+               "serve_seconds must be > 0");
+}
+
+TEST(ScenarioRun, ServingPhaseRunsAndPrintsEquivalence) {
+  const ScenarioConfig c = parse_scenario_text(R"(
+workload synthetic
+policy anu
+requests 2000
+duration 400
+file_sets 64
+seed 5
+serve_threads 2
+serve_seconds 0.2
+)");
+  std::ostringstream os;
+  const cluster::RunResult r = run_scenario(c, os);
+  EXPECT_GT(r.completed, 1000u);
+  EXPECT_NE(os.str().find("serving 2 threads"), std::string::npos);
+  EXPECT_NE(os.str().find("serving equivalence OK"), std::string::npos);
+}
+
 TEST(ScenarioParseDeathTest, UnknownKey) {
   EXPECT_DEATH((void)parse_scenario_text("frobnicate 1\n"), "unknown key");
 }
