@@ -86,6 +86,54 @@ void BM_LocateCached(benchmark::State& state) {
 }
 BENCHMARK(BM_LocateCached)->Arg(5)->Arg(64)->Arg(512);
 
+// Batched addressing (PlacementMap::locate_many, uncached): one SoA
+// sweep resolves the whole batch — round-major multi-lane mixing plus
+// contiguous owner-table probes — so the per-element cost (items/s)
+// is the number to compare against BM_LocateUncached's serial
+// probe-chain chasing. Arg is the batch size; the cluster is fixed at
+// 64 servers to match the scalar baseline's middle arg.
+void BM_LocateBatch(benchmark::State& state) {
+  const auto batch = static_cast<std::uint32_t>(state.range(0));
+  std::vector<ServerId> servers;
+  for (std::uint32_t i = 0; i < 64; ++i) servers.push_back(ServerId{i});
+  const core::AnuSystem system{core::AnuConfig{}, servers};
+  const std::vector<std::uint64_t> fps = working_set_fps();
+  std::vector<std::uint64_t> in(batch);
+  for (std::uint32_t k = 0; k < batch; ++k) in[k] = fps[k & (kWorkingSet - 1)];
+  std::vector<core::LocateResult> out(batch);
+  for (auto _ : state) {
+    system.locate_many_uncached(in, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * batch);
+}
+BENCHMARK(BM_LocateBatch)->Arg(1)->Arg(8)->Arg(64)->Arg(1024);
+
+// Batched cached addressing (PlacementCache::locate_many): steady state
+// is one classification pass of pure hits, so this bounds the batch
+// overhead over BM_LocateCached's per-lookup memo path.
+void BM_LocateBatchCached(benchmark::State& state) {
+  const auto batch = static_cast<std::uint32_t>(state.range(0));
+  std::vector<ServerId> servers;
+  for (std::uint32_t i = 0; i < 64; ++i) servers.push_back(ServerId{i});
+  const core::AnuSystem system{core::AnuConfig{}, servers};
+  const std::vector<std::uint64_t> fps = working_set_fps();
+  std::vector<std::uint64_t> in(batch);
+  for (std::uint32_t k = 0; k < batch; ++k) in[k] = fps[k & (kWorkingSet - 1)];
+  std::vector<core::LocateResult> out(batch);
+  for (auto _ : state) {
+    system.locate_many(in, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * batch);
+  state.counters["hit_rate"] = system.cache_stats().hit_rate();
+}
+BENCHMARK(BM_LocateBatchCached)->Arg(1)->Arg(8)->Arg(64)->Arg(1024);
+
 // The serving hot path (src/serve): pin a published snapshot, run one
 // batch of cached lookups against its map, release the pin. This is
 // exactly one reader-loop iteration of serve::LookupService, so the
@@ -119,6 +167,36 @@ void BM_ServeLocate(benchmark::State& state) {
   state.counters["hit_rate"] = cache.stats().hit_rate();
 }
 BENCHMARK(BM_ServeLocate)->Arg(1)->Arg(64)->Arg(256);
+
+// The batched reader-loop iteration: one epoch pin, one
+// cache.locate_many sweep, one digest fold — exactly what
+// serve::LookupService::run_batch now does per batch. Compare items/s
+// against BM_ServeLocate's per-lookup loop at the same batch size.
+void BM_ServeLocateBatch(benchmark::State& state) {
+  const auto batch = static_cast<std::uint32_t>(state.range(0));
+  std::vector<ServerId> servers;
+  for (std::uint32_t i = 0; i < 16; ++i) servers.push_back(ServerId{i});
+  core::AnuSystem system{core::AnuConfig{}, servers};
+  serve::SnapshotStore store(/*max_readers=*/1);
+  store.publish(system.placement());
+  core::PlacementCache cache(16384);
+  const std::vector<std::uint64_t> fps = working_set_fps();
+  std::vector<std::uint64_t> in(batch);
+  for (std::uint32_t k = 0; k < batch; ++k) in[k] = fps[k & (kWorkingSet - 1)];
+  std::vector<core::LocateResult> out(batch);
+  std::uint64_t folded = 0;
+  for (auto _ : state) {
+    const serve::Snapshot* snap = store.acquire(0);
+    cache.locate_many(snap->map, in, out);
+    for (std::uint32_t k = 0; k < batch; ++k) folded ^= out[k].server.value;
+    store.release(0);
+  }
+  benchmark::DoNotOptimize(folded);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * batch);
+  state.counters["hit_rate"] = cache.stats().hit_rate();
+}
+BENCHMARK(BM_ServeLocateBatch)->Arg(1)->Arg(64)->Arg(256);
 
 void BM_SchedulerThroughput(benchmark::State& state) {
   sim::Scheduler sched;

@@ -7,6 +7,11 @@
 // crash disturbs request latency. Each policy also runs the identical
 // scenario WITHOUT the fault plan, so the last column isolates the
 // crash's contribution to mean latency.
+//
+// Recovery re-homing resolves survivors through the batched
+// PlacementMap::locate_many sweep (via AnuPolicy::derive_assignment);
+// the table is byte-identical to the scalar-era recording, which is
+// itself part of the batch path's equivalence evidence.
 #include <iostream>
 #include <string>
 #include <vector>

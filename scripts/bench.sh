@@ -20,6 +20,13 @@
 #                                               # churn) and merge it into an
 #                                               # existing BENCH_core.json
 #                                               # without re-running the sweep
+#   ./scripts/bench.sh --batch                  # re-measure only the batched
+#                                               # locate group (BM_LocateBatch,
+#                                               # BM_LocateBatchCached,
+#                                               # BM_ServeLocateBatch + their
+#                                               # scalar baselines) and merge
+#                                               # it as the `batch` group into
+#                                               # an existing BENCH_core.json
 #
 # The sweep scenario is fixed (synthetic workload, 5 heterogeneous
 # servers, membership churn, 30 seeds, --jobs 1) so successive snapshots
@@ -36,12 +43,14 @@ BASELINE_BIN=""
 MIN_TIME=0.5
 SWEEP="seed=1..30"
 CONTROL_ONLY=0
+BATCH_ONLY=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --out) OUT="$2"; shift 2 ;;
     --baseline-bin) BASELINE_BIN="$2"; shift 2 ;;
     --quick) MIN_TIME=0.05; SWEEP="seed=1..5"; shift ;;
     --control-plane) CONTROL_ONLY=1; shift ;;
+    --batch) BATCH_ONLY=1; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
@@ -113,6 +122,80 @@ if [ "$CONTROL_ONLY" -eq 1 ]; then
   exit 0
 fi
 
+# jq fragment for the batched-locate group: per-element costs (the
+# benchmark's real_time is per whole batch) plus the headline speedup —
+# uncached batch/64 against the scalar uncached probe chain at the same
+# 64-server cluster. The acceptance bar for the batched path is >= 4x.
+JQ_BATCH='
+  ($micro[0].benchmarks | map({(.name): {time_ns: .real_time,
+                                         cpu_ns: .cpu_time,
+                                         hit_rate: (.hit_rate // null)}})
+     | add) as $bench |
+  {
+    locate_batch_per_elem_ns: {
+      "1":    ($bench["BM_LocateBatch/1"].time_ns / 1),
+      "8":    ($bench["BM_LocateBatch/8"].time_ns / 8),
+      "64":   ($bench["BM_LocateBatch/64"].time_ns / 64),
+      "1024": ($bench["BM_LocateBatch/1024"].time_ns / 1024)
+    },
+    locate_batch_cached_per_elem_ns: {
+      "1":    ($bench["BM_LocateBatchCached/1"].time_ns / 1),
+      "8":    ($bench["BM_LocateBatchCached/8"].time_ns / 8),
+      "64":   ($bench["BM_LocateBatchCached/64"].time_ns / 64),
+      "1024": ($bench["BM_LocateBatchCached/1024"].time_ns / 1024)
+    },
+    serve_locate_batch_per_elem_ns: {
+      "1":   ($bench["BM_ServeLocateBatch/1"].time_ns / 1),
+      "64":  ($bench["BM_ServeLocateBatch/64"].time_ns / 64),
+      "256": ($bench["BM_ServeLocateBatch/256"].time_ns / 256)
+    },
+    scalar_locate_uncached_ns_64: $bench["BM_LocateUncached/64"].time_ns,
+    scalar_serve_locate_per_elem_ns_64:
+      ($bench["BM_ServeLocate/64"].time_ns / 64),
+    batch64_uncached_speedup_vs_scalar:
+      ($bench["BM_LocateUncached/64"].time_ns /
+       ($bench["BM_LocateBatch/64"].time_ns / 64))
+  } as $batch |
+'
+
+if [ "$BATCH_ONLY" -eq 1 ]; then
+  echo "== build: default (micro_core only)"
+  cmake --preset default >/dev/null
+  cmake --build --preset default \
+    -j "${ANUFS_JOBS:-$(nproc 2>/dev/null || echo 2)}" \
+    --target micro_core >/dev/null
+  MICRO="$ROOT/build/bench/micro_core"
+  echo "== micro (batch group): $MICRO (min_time=${MIN_TIME}s)"
+  MICRO_JSON="$(mktemp)"
+  "$MICRO" --benchmark_format=json --benchmark_min_time="$MIN_TIME" \
+    --benchmark_filter='BM_Locate|BM_ServeLocate' \
+    >"$MICRO_JSON" 2>/dev/null
+  BASE='{"schema":"anufs-bench-v1"}'
+  if [ -f "$OUT" ]; then BASE="$(cat "$OUT")"; fi
+  TMP="$(mktemp)"
+  jq -n \
+    --slurpfile micro "$MICRO_JSON" \
+    --argjson base "$BASE" \
+    --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    --arg commit "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    "$JQ_BATCH"'
+    ($micro[0].benchmarks | map({(.name): {time_ns: .real_time,
+                                           cpu_ns: .cpu_time,
+                                           hit_rate: (.hit_rate // null)}})
+       | add) as $bench |
+    $base * {
+      recorded_at: $date,
+      commit: $commit,
+      micro: (($base.micro // {}) + $bench),
+      batch: $batch
+    }' >"$TMP"
+  mv "$TMP" "$OUT"
+  rm -f "$MICRO_JSON"
+  echo "== merged batch group into $OUT"
+  jq '.batch' "$OUT"
+  exit 0
+fi
+
 echo "== build: default"
 cmake --preset default >/dev/null
 cmake --build --preset default -j "${ANUFS_JOBS:-$(nproc 2>/dev/null || echo 2)}" \
@@ -179,7 +262,7 @@ jq -n \
   --arg baseline_engine "$BASELINE_ENGINE" \
   --argjson sweep_seconds "$SWEEP_SECONDS" \
   --argjson baseline_seconds "$BASELINE_SECONDS" \
-  "$JQ_BENCH"'
+  "$JQ_BENCH""$JQ_BATCH"'
   {
     schema: "anufs-bench-v1",
     recorded_at: $date,
@@ -194,6 +277,7 @@ jq -n \
         1e9 / $bench["BM_SchedulerThroughput"].time_ns)
     },
     control_plane: $control,
+    batch: $batch,
     sweep: {
       scenario: "synthetic anu 5-server churn",
       sweep: $sweep,

@@ -23,6 +23,11 @@
 #             walk, auditor forced on) from the default preset's build
 #             — a fast tripwire for anyone touching the tuner or
 #             region map without running the full property suite
+#   batch-smoke  replay the locate_many churn interleavings (batched
+#             answers bit-identical to the scalar sequence, cache stats
+#             included, auditor forced on) from the default preset's
+#             build — the tripwire for anyone touching the mixers,
+#             the owner-table layout, or the batch cache path
 #   serve-smoke  a 2-thread 1-second anufs_serve run (default preset's
 #             build) with --check: readers under live control-plane
 #             churn, every sample replayed sequentially; fails on zero
@@ -59,7 +64,7 @@ for arg in "$@"; do
   fi
 done
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(default trace-smoke retune-smoke serve-smoke static sanitize tsan lint)
+  STAGES=(default trace-smoke retune-smoke batch-smoke serve-smoke static sanitize tsan lint)
 fi
 
 for stage in "${STAGES[@]}"; do
@@ -102,6 +107,19 @@ for stage in "${STAGES[@]}"; do
     fi
     ANUFS_AUDIT=1 build/tests/retune_equivalence_test \
       --gtest_filter='RetuneEquivalence.IncrementalMatchesFullWalkAt64'
+    continue
+  fi
+  if [ "$stage" = batch-smoke ]; then
+    # Needs the default preset built (runs after `default` in the full
+    # gate; standalone invocations build the one test on demand).
+    echo "== batch-smoke"
+    if [ ! -x build/tests/locate_batch_test ]; then
+      cmake --preset default
+      cmake --build --preset default -j "$JOBS" \
+        --target locate_batch_test
+    fi
+    ANUFS_AUDIT=1 build/tests/locate_batch_test \
+      --gtest_filter='LocateBatch.BatchedMatchesScalarUnderRandomInterleavings'
     continue
   fi
   if [ "$stage" = serve-smoke ]; then

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/attributes.h"
@@ -83,6 +84,22 @@ class AnuSystem {
   /// and the cache's own property tests compare against this).
   [[nodiscard]] ANUFS_HOT LocateResult locate_uncached(std::uint64_t fp) const {
     return placement_.locate(fp);
+  }
+
+  /// Batched addressing for bulk consumers (recovery re-homing,
+  /// commissioning, workload replay): out[i] is bit-identical to
+  /// locate_detailed(fps[i]) called in index order, including post-batch
+  /// cache state — see PlacementCache::locate_many.
+  ANUFS_HOT void locate_many(std::span<const std::uint64_t> fps,
+                             std::span<LocateResult> out) const {
+    cache_.locate_many(placement_, fps, out);
+  }
+
+  /// Batched uncached derivation (one SoA sweep, no cache reads or
+  /// installs): out[i] is bit-identical to locate_uncached(fps[i]).
+  ANUFS_HOT void locate_many_uncached(std::span<const std::uint64_t> fps,
+                                      std::span<LocateResult> out) const {
+    placement_.locate_many(fps, out);
   }
 
   [[nodiscard]] PlacementCache::Stats cache_stats() const noexcept {

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "common/attributes.h"
 #include "common/check.h"
@@ -65,12 +67,51 @@ class PlacementMap {
   /// registered server.
   [[nodiscard]] ANUFS_HOT LocateResult locate(std::uint64_t fingerprint) const;
 
+  /// Batched resolve: `out[i]` is bit-identical to `locate(fps[i])` on
+  /// all four fields, including probe counts and the sorted-alive-list
+  /// fallback. Probing runs round-major over a structure-of-arrays view
+  /// of the owner table — every round mixes all unresolved lanes with
+  /// one multi-lane finalizer pass and touches contiguous cache lines —
+  /// instead of chasing each fingerprint's probe chain to completion.
+  /// Requires at least one registered server and out.size() >= fps.size().
+  ANUFS_HOT void locate_many(std::span<const std::uint64_t> fps,
+                             std::span<LocateResult> out) const;
+
   [[nodiscard]] ANUFS_HOT ServerId locate_server(
       std::uint64_t fingerprint) const {
     return locate(fingerprint).server;
   }
 
+  /// Lanes per SoA sweep in locate_many. Scratch lives on the stack, so
+  /// larger batches are processed in chunks of this many fingerprints.
+  static constexpr std::uint32_t kBatchLanes = 64;
+
  private:
+  /// The single shared probe-round implementation: scalar locate() is a
+  /// one-lane chunk, so there is no scalar/batch logic fork to keep in
+  /// sync. Preconditions (server_count() > 0) and the fallback-list
+  /// lookup are hoisted into the callers; this helper only probes.
+  ANUFS_HOT void locate_chunk(const RegionMap::OwnerTable& table,
+                              const std::vector<ServerId>& alive,
+                              const std::uint64_t* fps, std::uint32_t n,
+                              LocateResult* out) const;
+
+  /// AVX-512 body of locate_chunk (8 fingerprints per vector: vpmullq
+  /// mixing, gathered owner-table probes, vpcompress lane compaction).
+  /// Bit-identical to the scalar rounds; only defined on x86-64 and only
+  /// dispatched to after a runtime __builtin_cpu_supports check.
+  ANUFS_HOT void locate_chunk_x8(const RegionMap::OwnerTable& table,
+                                 const std::vector<ServerId>& alive,
+                                 const std::uint64_t* fps, std::uint32_t n,
+                                 LocateResult* out) const;
+
+  /// Direct-to-server fallback after max_rounds failed probes:
+  /// deterministic over the caller-provided sorted alive list, so every
+  /// node resolves identically without coordination. Fallback results
+  /// leave position == 0.
+  [[nodiscard]] ANUFS_HOT LocateResult resolve_fallback(
+      const std::vector<ServerId>& alive, std::uint64_t fp) const;
+
   PlacementConfig config_;
   hash::HashFamily family_;
   RegionMap regions_;

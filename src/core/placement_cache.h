@@ -47,9 +47,11 @@
 // interlocked RMW, on the ~2.7 ns hot path.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/attributes.h"
@@ -85,7 +87,11 @@ class PlacementCache {
   /// simulator's file-set working sets (hundreds of sets); residency
   /// only affects speed, never answers.
   explicit PlacementCache(std::size_t capacity = 16384)
-      : mask_(round_up_pow2(capacity) - 1), slots_(mask_ + 1) {}
+      : mask_(round_up_pow2(capacity) - 1),
+        slots_(mask_ + 1),
+        scratch_fps_(kBatchChunk),
+        scratch_results_(kBatchChunk),
+        scratch_ranks_(kBatchChunk) {}
 
   // Moves belong to the owning thread, BEFORE the instance has been
   // advertised to any stats() reader (a move during concurrent harvest
@@ -95,6 +101,9 @@ class PlacementCache {
   PlacementCache(PlacementCache&& other) noexcept
       : mask_(other.mask_),
         slots_(std::move(other.slots_)),
+        scratch_fps_(std::move(other.scratch_fps_)),
+        scratch_results_(std::move(other.scratch_results_)),
+        scratch_ranks_(std::move(other.scratch_ranks_)),
         last_gen_(other.last_gen_) {
     hits_.store(other.hits_.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
@@ -108,6 +117,9 @@ class PlacementCache {
   PlacementCache& operator=(PlacementCache&& other) noexcept {
     mask_ = other.mask_;
     slots_ = std::move(other.slots_);
+    scratch_fps_ = std::move(other.scratch_fps_);
+    scratch_results_ = std::move(other.scratch_results_);
+    scratch_ranks_ = std::move(other.scratch_ranks_);
     last_gen_ = other.last_gen_;
     hits_.store(other.hits_.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
@@ -162,6 +174,42 @@ class PlacementCache {
     return result;
   }
 
+  /// Batched resolve: `out[i]` is bit-identical to calling
+  /// locate(map, fps[i]) for i = 0..n-1 in index order — same four
+  /// result fields per element, same hit/miss/revalidated/invalidation
+  /// counts, and the same end-of-batch slot contents (duplicate
+  /// fingerprints hit the batch's own install; colliding slots end with
+  /// the last writer). Misses, instead of each chasing their own probe
+  /// chain, are resolved together by one SoA sweep per chunk
+  /// (PlacementMap::locate_many). Requires out.size() >= fps.size().
+  ANUFS_HOT void locate_many(const PlacementMap& map,
+                             std::span<const std::uint64_t> fps,
+                             std::span<LocateResult> out) {
+    ANUFS_EXPECTS(out.size() >= fps.size());
+    if (fps.empty()) return;
+    // Pending claims (below) ride in the probes field of a claimed slot;
+    // real probe counts are bounded by max_rounds + 1.
+    ANUFS_EXPECTS(map.config().max_rounds < kPendingBit - 1);
+    const std::uint64_t gen = map.regions().generation();
+    if (gen != last_gen_) {
+      // The scalar sequence would observe the epoch change at its first
+      // lookup, before any of the batch's own bumps — so counting it
+      // here, once, reproduces both the counter and the trace record.
+      bump(invalidations_);
+      ANUFS_TRACE(obs::Category::kCache, "invalidate", {"generation", gen},
+                  {"hits", hits_.load(std::memory_order_relaxed)},
+                  {"misses", misses_.load(std::memory_order_relaxed)});
+      last_gen_ = gen;
+    }
+    std::size_t done = 0;
+    while (done < fps.size()) {
+      const auto n = static_cast<std::uint32_t>(
+          std::min<std::size_t>(kBatchChunk, fps.size() - done));
+      locate_chunk(map, gen, fps.data() + done, n, out.data() + done);
+      done += n;
+    }
+  }
+
   /// Snapshot of the counters. Callable from any thread, even while the
   /// owning thread is mid-locate: each counter is read atomically
   /// (relaxed), so the snapshot is tear-free per field. Fields may be
@@ -193,6 +241,89 @@ class PlacementCache {
     std::uint64_t generation = 0;  ///< map generation at insert/promotion
     LocateResult result;
   };
+
+  /// Fingerprints per batched chunk; bounds the preallocated scratch so
+  /// locate_many itself never allocates (H1).
+  static constexpr std::uint32_t kBatchChunk = 1024;
+  /// Set in the probes field of a slot claimed by a pending miss; the
+  /// low bits hold the miss rank within the current chunk.
+  static constexpr std::uint32_t kPendingBit = 1u << 31;
+  /// ranks[] sentinel: this element's result was copied during
+  /// classification (fast or revalidated hit), nothing to patch.
+  static constexpr std::uint32_t kResolved = 0xFFFFFFFFu;
+
+  /// One chunk of locate_many. Three passes, all in index order:
+  ///
+  ///  1. CLASSIFY: hits (fast or revalidated, exactly the scalar checks)
+  ///     copy their result immediately — the slot may be overwritten by
+  ///     a later colliding miss, just as it could be under the scalar
+  ///     sequence after this lookup returned. Misses claim their slot
+  ///     with a pending marker carrying their miss rank, so a later
+  ///     duplicate fingerprint in the chunk hits the claim exactly as it
+  ///     would hit the freshly-installed entry scalar-wise (counted as a
+  ///     hit, result aliased by rank). A later colliding miss simply
+  ///     re-claims the slot.
+  ///  2. RESOLVE: all chunk misses in one SoA sweep.
+  ///  3. INSTALL: miss results written back in rank (= index) order, so
+  ///     a slot claimed several times ends with the last writer — the
+  ///     same end state the scalar install sequence leaves. Finally the
+  ///     aliased elements are patched from the resolved results.
+  ANUFS_HOT void locate_chunk(const PlacementMap& map, std::uint64_t gen,
+                              const std::uint64_t* fps, std::uint32_t n,
+                              LocateResult* out) {
+    std::uint64_t* miss_fps = scratch_fps_.data();
+    LocateResult* miss_results = scratch_results_.data();
+    std::uint32_t* ranks = scratch_ranks_.data();
+    std::uint32_t miss_count = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint64_t fp = fps[i];
+      Slot& slot = slots_[fp & mask_];
+      if (slot.fingerprint == fp && slot.generation != 0) {
+        if (slot.result.probes & kPendingBit) {
+          // Claimed by an earlier miss in this chunk for the same
+          // fingerprint: under the scalar sequence this lookup would hit
+          // the just-installed entry.
+          bump(hits_);
+          ranks[i] = slot.result.probes & ~kPendingBit;
+          continue;
+        }
+        if (slot.generation == gen) {
+          bump(hits_);
+          out[i] = slot.result;
+          ranks[i] = kResolved;
+          continue;
+        }
+        if (chain_unchanged(map, slot)) {
+          slot.generation = gen;
+          bump(hits_);
+          bump(revalidated_);
+          out[i] = slot.result;
+          ranks[i] = kResolved;
+          continue;
+        }
+      }
+      bump(misses_);
+      ranks[i] = miss_count;
+      miss_fps[miss_count] = fp;
+      slot.fingerprint = fp;
+      slot.generation = gen;
+      slot.result.probes = kPendingBit | miss_count;
+      ++miss_count;
+    }
+    if (miss_count > 0) {
+      map.locate_many(std::span<const std::uint64_t>(miss_fps, miss_count),
+                      std::span<LocateResult>(miss_results, miss_count));
+      for (std::uint32_t r = 0; r < miss_count; ++r) {
+        Slot& slot = slots_[miss_fps[r] & mask_];
+        slot.fingerprint = miss_fps[r];
+        slot.generation = gen;
+        slot.result = miss_results[r];
+      }
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (ranks[i] != kResolved) out[i] = miss_results[ranks[i]];
+    }
+  }
 
   /// True iff no partition under the entry's probe chain (and, for
   /// fallback entries, the membership list) changed after the entry was
@@ -238,6 +369,12 @@ class PlacementCache {
 
   std::size_t mask_;
   std::vector<Slot> slots_;
+  // Preallocated locate_many scratch (miss fingerprints, their resolved
+  // results, and the per-element rank/alias table). Owner-thread-only,
+  // like the slots.
+  std::vector<std::uint64_t> scratch_fps_;
+  std::vector<LocateResult> scratch_results_;
+  std::vector<std::uint32_t> scratch_ranks_;
   std::uint64_t last_gen_ = 0;
   // Owner-thread-written, any-thread-readable (see class comment). The
   // atomics delete the copy operations (callers never replicate a

@@ -8,7 +8,8 @@ namespace anufs::core {
 
 RegionMap::RegionMap(std::uint32_t n_partitions)
     : space_(n_partitions), free_(space_.count()) {
-  parts_.resize(space_.count());
+  part_owners_.assign(space_.count(), kInvalidServer);
+  part_fills_.assign(space_.count(), 0);
   part_stamps_.assign(space_.count(), 0);
   for (std::uint32_t p = 0; p < space_.count(); ++p) free_.insert(p);
 }
@@ -71,7 +72,8 @@ void RegionMap::remove_server(ServerId id) {
 std::vector<ServerId> RegionMap::server_ids() const { return alive_ids_; }
 
 void RegionMap::release_partition(std::uint32_t p) {
-  parts_[p] = PartitionState{};
+  part_owners_[p] = kInvalidServer;
+  part_fills_[p] = 0;
   free_.insert(p);
   touch(p);
 }
@@ -81,7 +83,8 @@ void RegionMap::claim_free(ServerId id, ServerRegions& sr, Measure fill) {
   ANUFS_ENSURES(!free_.empty());  // guaranteed by P >= 2(n+1), see header
   const std::uint32_t p = free_.first();
   free_.erase(p);
-  parts_[p] = PartitionState{id, fill};
+  part_owners_[p] = id;
+  part_fills_[p] = fill;
   touch(p);
   if (fill == part_size()) {
     sr.full.insert(
@@ -97,12 +100,12 @@ void RegionMap::grow(ServerId id, ServerRegions& sr, Measure delta) {
   // 1. Top up the existing partial partition in place.
   if (delta > 0 && sr.partial) {
     const std::uint32_t p = *sr.partial;
-    const Measure headroom = ps - parts_[p].fill;
+    const Measure headroom = ps - part_fills_[p];
     const Measure take = std::min(delta, headroom);
-    parts_[p].fill += take;
+    part_fills_[p] += take;
     touch(p);
     delta -= take;
-    if (parts_[p].fill == ps) {
+    if (part_fills_[p] == ps) {
       sr.full.insert(
           std::lower_bound(sr.full.begin(), sr.full.end(), p), p);
       sr.partial.reset();
@@ -122,11 +125,11 @@ void RegionMap::shrink(ServerRegions& sr, Measure delta) {
   // 1. Trim the partial partition first (it is the region's "top").
   if (delta > 0 && sr.partial) {
     const std::uint32_t p = *sr.partial;
-    const Measure take = std::min(delta, parts_[p].fill);
-    parts_[p].fill -= take;
+    const Measure take = std::min(delta, part_fills_[p]);
+    part_fills_[p] -= take;
     touch(p);
     delta -= take;
-    if (parts_[p].fill == 0) {
+    if (part_fills_[p] == 0) {
       release_partition(p);
       sr.partial.reset();
     }
@@ -144,7 +147,7 @@ void RegionMap::shrink(ServerRegions& sr, Measure delta) {
     ANUFS_ENSURES(!sr.full.empty() && !sr.partial.has_value());
     const std::uint32_t p = sr.full.back();
     sr.full.pop_back();
-    parts_[p].fill = ps - delta;
+    part_fills_[p] = ps - delta;
     touch(p);
     sr.partial = p;
   }
@@ -210,41 +213,46 @@ void RegionMap::repartition_double() {
   ++generation_;
   space_.double_count();
   const Measure new_ps = space_.partition_size();
-  const auto old_count = static_cast<std::uint32_t>(parts_.size());
-  std::vector<PartitionState> next(std::size_t{2} * old_count);
+  const auto old_count = static_cast<std::uint32_t>(part_fills_.size());
+  std::vector<ServerId> next_owners(std::size_t{2} * old_count,
+                                    kInvalidServer);
+  std::vector<Measure> next_fills(std::size_t{2} * old_count, 0);
   std::vector<std::uint64_t> next_stamps(std::size_t{2} * old_count);
   for (std::uint32_t p = 0; p < old_count; ++p) {
-    const PartitionState& st = parts_[p];
+    const Measure fill = part_fills_[p];
     // Children inherit the parent's stamp: no boundary moves and no
     // placement answer changes, so derived state stays valid across a
     // repartition — exactly the paper's "no load moves" claim, carried
     // through to the caches.
     next_stamps[2 * p] = part_stamps_[p];
     next_stamps[2 * p + 1] = part_stamps_[p];
-    if (st.fill == 0) continue;
+    if (fill == 0) continue;
     // Split the prefix [0, fill) across the two children.
-    next[2 * p] = PartitionState{st.owner, std::min(st.fill, new_ps)};
-    if (st.fill > new_ps) {
-      next[2 * p + 1] = PartitionState{st.owner, st.fill - new_ps};
+    next_owners[2 * p] = part_owners_[p];
+    next_fills[2 * p] = std::min(fill, new_ps);
+    if (fill > new_ps) {
+      next_owners[2 * p + 1] = part_owners_[p];
+      next_fills[2 * p + 1] = fill - new_ps;
     }
   }
-  parts_ = std::move(next);
+  part_owners_ = std::move(next_owners);
+  part_fills_ = std::move(next_fills);
   part_stamps_ = std::move(next_stamps);
   // Rebuild the per-server and free-list indexes; shares are unchanged.
-  free_.reset(static_cast<std::uint32_t>(parts_.size()));
+  free_.reset(static_cast<std::uint32_t>(part_fills_.size()));
   for (const ServerId id : alive_ids_) {
     ServerRegions& sr = regions_of(id);
     sr.full.clear();
     sr.partial.reset();
   }
-  for (std::uint32_t p = 0; p < parts_.size(); ++p) {
-    const PartitionState& st = parts_[p];
-    if (st.fill == 0) {
+  for (std::uint32_t p = 0; p < part_fills_.size(); ++p) {
+    const Measure fill = part_fills_[p];
+    if (fill == 0) {
       free_.insert(p);
-    } else if (st.fill == new_ps) {
-      regions_of(st.owner).full.push_back(p);  // ascending p: stays sorted
+    } else if (fill == new_ps) {
+      regions_of(part_owners_[p]).full.push_back(p);  // ascending: sorted
     } else {
-      ServerRegions& sr = regions_of(st.owner);
+      ServerRegions& sr = regions_of(part_owners_[p]);
       ANUFS_ENSURES(!sr.partial.has_value());
       sr.partial = p;
     }
@@ -254,10 +262,10 @@ void RegionMap::repartition_double() {
 }
 
 std::optional<ServerId> RegionMap::owner_at(Pos x) const {
-  const std::uint32_t p = space_.partition_of(x);
-  const PartitionState& st = parts_[p];
-  if (st.fill == 0) return std::nullopt;
-  if (space_.offset_in_partition(x) < st.fill) return st.owner;
+  // One probe through the same SoA view the batched path uses; a free
+  // partition stores fill 0, which no offset is ever below.
+  ServerId owner;
+  if (owner_table().probe(x, owner)) return owner;
   return std::nullopt;
 }
 
@@ -275,7 +283,7 @@ std::vector<Segment> RegionMap::segments(ServerId id) const {
   std::vector<Segment> out;
   for (const std::uint32_t p : owned) {
     const Pos begin = space_.partition_start(p);
-    const Pos end = begin + parts_[p].fill;  // may wrap to 0 at the top
+    const Pos end = begin + part_fills_[p];  // may wrap to 0 at the top
     if (!out.empty() && out.back().end == begin &&
         space_.offset_in_partition(out.back().end) == 0) {
       out.back().end = end;  // merge with a preceding full partition
@@ -288,9 +296,10 @@ std::vector<Segment> RegionMap::segments(ServerId id) const {
 
 std::vector<RegionMap::PartitionRecord> RegionMap::dump() const {
   std::vector<PartitionRecord> records;
-  for (std::uint32_t p = 0; p < parts_.size(); ++p) {
-    if (parts_[p].fill == 0) continue;
-    records.push_back(PartitionRecord{p, parts_[p].owner, parts_[p].fill});
+  for (std::uint32_t p = 0; p < part_fills_.size(); ++p) {
+    if (part_fills_[p] == 0) continue;
+    records.push_back(
+        PartitionRecord{p, part_owners_[p], part_fills_[p]});
   }
   return records;
 }
@@ -307,8 +316,9 @@ RegionMap RegionMap::restore(std::uint32_t n_partitions,
     ANUFS_EXPECTS(rec.index < map.space().count());
     ANUFS_EXPECTS(rec.fill > 0 && rec.fill <= ps);
     ANUFS_EXPECTS(map.has_server(rec.owner));
-    ANUFS_EXPECTS(map.parts_[rec.index].fill == 0);  // no duplicates
-    map.parts_[rec.index] = PartitionState{rec.owner, rec.fill};
+    ANUFS_EXPECTS(map.part_fills_[rec.index] == 0);  // no duplicates
+    map.part_owners_[rec.index] = rec.owner;
+    map.part_fills_[rec.index] = rec.fill;
     map.free_.erase(rec.index);
     map.touch(rec.index);
     ServerRegions& sr = map.regions_of(rec.owner);
@@ -333,17 +343,19 @@ void RegionMap::check_invariants() const {
   // Partition-level consistency.
   Measure fill_total = 0;
   std::uint32_t free_seen = 0;
-  for (std::uint32_t p = 0; p < parts_.size(); ++p) {
-    const PartitionState& st = parts_[p];
-    ANUFS_ENSURES(st.fill <= ps);
-    if (st.fill == 0) {
+  ANUFS_ENSURES(part_owners_.size() == part_fills_.size());
+  for (std::uint32_t p = 0; p < part_fills_.size(); ++p) {
+    const Measure fill = part_fills_[p];
+    ANUFS_ENSURES(fill <= ps);
+    if (fill == 0) {
       ANUFS_ENSURES(free_.contains(p));
+      ANUFS_ENSURES(part_owners_[p] == kInvalidServer);
       ++free_seen;
     } else {
       ANUFS_ENSURES(!free_.contains(p));
-      ANUFS_ENSURES(has_server(st.owner));
+      ANUFS_ENSURES(has_server(part_owners_[p]));
     }
-    fill_total += st.fill;
+    fill_total += fill;
   }
   ANUFS_ENSURES(free_seen == free_.size());
   ANUFS_ENSURES(fill_total == total_);
@@ -358,14 +370,14 @@ void RegionMap::check_invariants() const {
     ANUFS_ENSURES(std::is_sorted(sr.full.begin(), sr.full.end()));
     Measure s = 0;
     for (const std::uint32_t p : sr.full) {
-      ANUFS_ENSURES(parts_[p].owner == id && parts_[p].fill == ps);
+      ANUFS_ENSURES(part_owners_[p] == id && part_fills_[p] == ps);
       s += ps;
     }
     if (sr.partial) {
       const std::uint32_t p = *sr.partial;
-      ANUFS_ENSURES(parts_[p].owner == id);
-      ANUFS_ENSURES(parts_[p].fill > 0 && parts_[p].fill < ps);
-      s += parts_[p].fill;
+      ANUFS_ENSURES(part_owners_[p] == id);
+      ANUFS_ENSURES(part_fills_[p] > 0 && part_fills_[p] < ps);
+      s += part_fills_[p];
     }
     ANUFS_ENSURES(s == sr.share);
     share_total += s;

@@ -156,6 +156,49 @@ class RegionMap {
   /// Owner of position x, or nullopt when x lies in unmapped space.
   [[nodiscard]] ANUFS_HOT std::optional<ServerId> owner_at(Pos x) const;
 
+  /// Structure-of-arrays view of the per-partition owner table, for
+  /// batched probes (PlacementMap::locate_many). The owner and fill
+  /// columns live in separate dense arrays indexed by partition, so a
+  /// probe round over many positions streams two flat arrays (8 fills
+  /// or 16 owners per cache line) instead of striding an
+  /// array-of-structs, and the `fills` compare needs no branch: a free
+  /// partition stores fill 0, which no offset is ever below. The view
+  /// aliases live map storage — it is invalidated by the next mutation,
+  /// exactly like server_ids_view(); hoist it once per batch, never
+  /// across one.
+  struct OwnerTable {
+    const ServerId* owners = nullptr;  ///< kInvalidServer when free
+    const Measure* fills = nullptr;    ///< 0 when free
+    std::uint32_t shift = 0;           ///< 64 - log2 P: partition_of(x)
+    Measure offset_mask = 0;           ///< partition_size - 1
+
+    /// One probe: true iff x lies in a mapped prefix. `owner_out` is
+    /// written unconditionally (kInvalidServer on a miss) so the caller
+    /// can run lanes branch-free and only publish on a hit.
+    [[nodiscard]] ANUFS_HOT bool probe(Pos x,
+                                       ServerId& owner_out) const noexcept {
+      const auto p = static_cast<std::size_t>(x >> shift);
+      owner_out = owners[p];
+      return (x & offset_mask) < fills[p];
+    }
+
+    /// Hint both columns of x's partition toward the caller's cache
+    /// before a batched round resolves its lanes.
+    ANUFS_HOT void prefetch(Pos x) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+      const auto p = static_cast<std::size_t>(x >> shift);
+      __builtin_prefetch(&fills[p], /*rw=*/0, /*locality=*/1);
+      __builtin_prefetch(&owners[p], /*rw=*/0, /*locality=*/1);
+#endif
+    }
+  };
+
+  [[nodiscard]] ANUFS_HOT OwnerTable owner_table() const noexcept {
+    return OwnerTable{part_owners_.data(), part_fills_.data(),
+                      64u - space_.log2_count(),
+                      space_.partition_size() - 1};
+  }
+
   /// Current measure of a server's mapped region. O(1).
   [[nodiscard]] Measure share(ServerId id) const;
 
@@ -264,12 +307,13 @@ class RegionMap {
   void release_partition(std::uint32_t p);
 
   PartitionSpace space_;
-  // Per-partition owner and prefix fill; fill == 0 <=> unowned.
-  struct PartitionState {
-    ServerId owner = kInvalidServer;
-    Measure fill = 0;
-  };
-  std::vector<PartitionState> parts_;
+  // Per-partition owner and prefix fill in structure-of-arrays form
+  // (parallel vectors indexed by partition): owner_table() hands the
+  // batched probe path raw pointers into exactly this storage, so the
+  // SoA layout IS the probe layout — there is no derived copy to keep
+  // coherent. fill == 0 <=> unowned (owner kInvalidServer).
+  std::vector<ServerId> part_owners_;
+  std::vector<Measure> part_fills_;
   std::vector<std::uint64_t> part_stamps_;  // last-change generation per p
   PartitionIndex free_;                     // unowned partitions
   // Dense server storage: id -> slot -> regions. Slots are recycled on

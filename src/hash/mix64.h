@@ -26,6 +26,80 @@ namespace anufs::hash {
   return z ^ (z >> 33);
 }
 
+/// Multi-lane forms of the two finalizers, for batched probing: apply
+/// the scalar mixer to `n` independent inputs. Each lane is the exact
+/// scalar recurrence (same constants, same shifts), so lane `l` of the
+/// output is bit-identical to `mix64(in[l])` — batching changes
+/// throughput, never a value. The flat loop over contiguous lanes is
+/// what buys the speed: the scalar mixer is a serial three-multiply
+/// dependency chain (~15 cycles of latency), while independent lanes
+/// pipeline at multiply throughput and give the compiler a
+/// vectorization-shaped loop (GCC/Clang unroll it; with AVX-512DQ it
+/// vectorizes outright).
+inline void mix64_many(const std::uint64_t* in, std::uint32_t n,
+                       std::uint64_t xor_pre, std::uint64_t* out) {
+  for (std::uint32_t l = 0; l < n; ++l) out[l] = mix64(in[l] ^ xor_pre);
+}
+
+inline void mix64_v2_many(const std::uint64_t* in, std::uint32_t n,
+                          std::uint64_t xor_pre, std::uint64_t* out) {
+  for (std::uint32_t l = 0; l < n; ++l) out[l] = mix64_v2(in[l] ^ xor_pre);
+}
+
+// Eight-lane vector forms of the two finalizers. AVX-512DQ gives a
+// native 8x64-bit multiply (vpmullq), so one vector instruction per
+// mixer step replaces eight scalar ones. The lane arithmetic is the
+// exact scalar recurrence — mullo is the low 64 bits of the product,
+// srli/xor are the same `>>`/`^` on each lane — so lane l of the result
+// is bit-identical to mix64(in[l]) / mix64_v2(in[l]). Compiled via a
+// per-function target attribute (the translation unit stays baseline
+// x86-64); callers must gate on __builtin_cpu_supports at runtime.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define ANUFS_MIX64_X8 1
+#endif
+
+#if ANUFS_MIX64_X8
+}  // namespace anufs::hash
+#include <immintrin.h>
+namespace anufs::hash {
+
+// GCC's shift intrinsics pass _mm512_undefined_epi32() as the masked-off
+// source of an unmasked shift, which -Wmaybe-uninitialized flags; the
+// lanes are fully overwritten, so the warning is a header false positive.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+/// set1 over an unsigned 64-bit pattern (the intrinsic takes long long).
+__attribute__((target("avx512f"))) [[nodiscard]] inline __m512i
+broadcast_u64(std::uint64_t v) {
+  return _mm512_set1_epi64(static_cast<long long>(v));
+}
+
+__attribute__((target("avx512f,avx512dq"))) [[nodiscard]] inline __m512i
+mix64_x8(__m512i z) {
+  z = _mm512_mullo_epi64(_mm512_xor_si512(z, _mm512_srli_epi64(z, 30)),
+                         broadcast_u64(0xBF58476D1CE4E5B9ULL));
+  z = _mm512_mullo_epi64(_mm512_xor_si512(z, _mm512_srli_epi64(z, 27)),
+                         broadcast_u64(0x94D049BB133111EBULL));
+  return _mm512_xor_si512(z, _mm512_srli_epi64(z, 31));
+}
+
+__attribute__((target("avx512f,avx512dq"))) [[nodiscard]] inline __m512i
+mix64_v2_x8(__m512i z) {
+  z = _mm512_mullo_epi64(_mm512_xor_si512(z, _mm512_srli_epi64(z, 33)),
+                         broadcast_u64(0xFF51AFD7ED558CCDULL));
+  z = _mm512_mullo_epi64(_mm512_xor_si512(z, _mm512_srli_epi64(z, 33)),
+                         broadcast_u64(0xC4CEB9FE1A85EC53ULL));
+  return _mm512_xor_si512(z, _mm512_srli_epi64(z, 33));
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+#endif  // ANUFS_MIX64_X8
+
 /// FNV-1a fingerprint of a unique file-set name. The fingerprint is the
 /// canonical 64-bit identity that every node hashes identically; the
 /// target system's administrator-assigned unique names map through this.

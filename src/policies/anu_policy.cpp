@@ -3,9 +3,21 @@
 namespace anufs::policy {
 
 std::map<FileSetId, ServerId> AnuPolicy::derive_assignment() const {
+  // Batched re-derivation: one locate_many sweep (SoA probe rounds over
+  // the whole working set) replaces chasing each file set's probe chain
+  // to completion. Fingerprints are gathered in file_sets_ order, so the
+  // placement cache sees exactly the lookup sequence the scalar loop
+  // used to issue — hit/miss accounting and post-call cache state are
+  // unchanged.
+  fps_scratch_.resize(file_sets_.size());
+  locate_scratch_.resize(file_sets_.size());
+  for (std::size_t i = 0; i < file_sets_.size(); ++i) {
+    fps_scratch_[i] = file_sets_[i].fingerprint;
+  }
+  system_->locate_many(fps_scratch_, locate_scratch_);
   std::map<FileSetId, ServerId> next;
-  for (const workload::FileSetSpec& fs : file_sets_) {
-    next[fs.id] = system_->locate(fs.fingerprint);
+  for (std::size_t i = 0; i < file_sets_.size(); ++i) {
+    next[file_sets_[i].id] = locate_scratch_[i].server;
   }
   return next;
 }

@@ -45,11 +45,16 @@ class AnuPolicy final : public AssignmentPolicyBase {
   }
 
  private:
-  /// Re-derive every file set's owner from the probe sequence.
+  /// Re-derive every file set's owner from the probe sequence, batched
+  /// through AnuSystem::locate_many (one SoA sweep per call).
   [[nodiscard]] std::map<FileSetId, ServerId> derive_assignment() const;
 
   core::AnuConfig config_;
   std::unique_ptr<core::AnuSystem> system_;
+  // Reused locate_many staging (fingerprints in, results out), mutable
+  // because derive_assignment() is logically const.
+  mutable std::vector<std::uint64_t> fps_scratch_;
+  mutable std::vector<core::LocateResult> locate_scratch_;
 };
 
 }  // namespace anufs::policy

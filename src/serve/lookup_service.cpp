@@ -98,7 +98,8 @@ LookupService::LookupService(ServeConfig config)
           : std::max<std::size_t>(16384, std::size_t{16} * config_.file_sets);
   for (std::uint32_t i = 0; i < config_.threads; ++i) {
     readers_.push_back(std::make_unique<ReaderState>(
-        sim::derive_seed(config_.seed, "serve/reader", i), cache_capacity));
+        sim::derive_seed(config_.seed, "serve/reader", i), cache_capacity,
+        config_.batch_size));
   }
 
   // The publication hook: every RegionMap mutation (statically complete
@@ -400,12 +401,21 @@ void LookupService::reader_loop(std::size_t idx) {
 
 void LookupService::run_batch(ReaderState& r, const core::PlacementMap& map,
                               std::uint32_t n) {
+  // Draw the whole batch first (locate never touches the rng, so the
+  // draw sequence is exactly what the per-lookup loop produced), resolve
+  // it with one batched sweep, then fold in draw order. Staging is
+  // preallocated at batch_size in the ReaderState constructor.
   const std::uint64_t set_size = fingerprints_.size();
+  std::uint64_t* fps = r.batch_fps.data();
+  core::LocateResult* results = r.batch_results.data();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    fps[i] = fingerprints_[r.rng.next_below(set_size)];
+  }
+  r.cache.locate_many(map, std::span<const std::uint64_t>(fps, n),
+                      std::span<core::LocateResult>(results, n));
   std::uint64_t digest = r.digest;
   for (std::uint32_t i = 0; i < n; ++i) {
-    const std::uint64_t fp = fingerprints_[r.rng.next_below(set_size)];
-    const core::LocateResult res = r.cache.locate(map, fp);
-    digest = fold_result(digest, fp, res);
+    digest = fold_result(digest, fps[i], results[i]);
   }
   r.digest = digest;
 }
@@ -454,13 +464,22 @@ EquivalenceReport LookupService::check_equivalence() const {
   // initial state), and the samples served from it must match the
   // uncached sequential derivation bit-for-bit.
   core::AnuSystem replay(config_.anu, initial_ids_);
+  std::vector<std::uint64_t> bucket_fps;
+  std::vector<core::LocateResult> bucket_refs;
   const auto validate_at = [&](std::uint64_t generation) {
     const auto it = by_gen.find(generation);
     if (it == by_gen.end()) return;
-    for (const Sample* s : it->second) {
-      const core::LocateResult ref = replay.locate_uncached(s->fingerprint);
+    // One batched uncached sweep re-derives the whole generation bucket.
+    bucket_fps.resize(it->second.size());
+    bucket_refs.resize(it->second.size());
+    for (std::size_t i = 0; i < it->second.size(); ++i) {
+      bucket_fps[i] = it->second[i]->fingerprint;
+    }
+    replay.locate_many_uncached(bucket_fps, bucket_refs);
+    for (std::size_t i = 0; i < it->second.size(); ++i) {
+      const Sample* s = it->second[i];
       ++report.samples_checked;
-      if (!results_equal(s->result, ref)) ++report.mismatches;
+      if (!results_equal(s->result, bucket_refs[i])) ++report.mismatches;
       report.digest = fold_result(report.digest ^ generation,
                                   s->fingerprint, s->result);
     }

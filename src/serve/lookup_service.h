@@ -204,10 +204,18 @@ class LookupService {
   /// Everything one reader thread owns, cache-line padded so neighbours
   /// never false-share the hot counters.
   struct alignas(64) ReaderState {
-    ReaderState(std::uint64_t stream_seed, std::size_t cache_capacity)
-        : cache(cache_capacity), rng(stream_seed) {}
+    ReaderState(std::uint64_t stream_seed, std::size_t cache_capacity,
+                std::uint32_t batch_size)
+        : cache(cache_capacity),
+          rng(stream_seed),
+          batch_fps(batch_size),
+          batch_results(batch_size) {}
     core::PlacementCache cache;
     sim::Xoshiro256 rng;
+    /// run_batch staging, preallocated so the hot path never allocates
+    /// (H1): the batch's drawn fingerprints and their batched answers.
+    std::vector<std::uint64_t> batch_fps;
+    std::vector<core::LocateResult> batch_results;
     std::uint64_t digest = 0;
     std::uint64_t batch_count = 0;
     std::vector<Sample> samples;          ///< reader-confined until join
@@ -220,8 +228,12 @@ class LookupService {
   void writer_loop();
   void reader_loop(std::size_t idx);
   /// The serving hot path: `n` cached lookups against the pinned
-  /// snapshot's map, digest-folded. Allocation/lock/sleep-free by rule
-  /// H1 (tools/anufs_lint.py walks its call graph).
+  /// snapshot's map — drawn into preallocated staging, resolved with one
+  /// batched cache.locate_many sweep, then digest-folded in draw order
+  /// (bit-identical to the per-lookup loop: the rng drives only the
+  /// draws, and locate_many preserves per-element results, counters, and
+  /// cache state). Allocation/lock/sleep-free by rule H1
+  /// (tools/anufs_lint.py walks its call graph).
   ANUFS_HOT void run_batch(ReaderState& r, const core::PlacementMap& map,
                            std::uint32_t n);
   /// Off the hot path: one extra validated lookup recorded for replay.

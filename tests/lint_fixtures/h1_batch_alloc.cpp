@@ -1,0 +1,53 @@
+// H1 fixture for the batched locate shape: a hot locate_many-style
+// entry point must not allocate its staging per call — the scratch has
+// to be preallocated (PlacementCache owns its miss staging; the
+// PlacementMap chunk helper uses stack lanes). NOT compiled — the
+// attribute macros are matched as tokens, so no include is needed.
+#include <cstdint>
+#include <vector>
+
+#define ANUFS_HOT
+#define ANUFS_COLD
+
+namespace fixture {
+
+struct Result {
+  std::uint32_t server = 0;
+};
+
+struct BatchLocator {
+  std::vector<std::uint64_t> scratch_fps_;  // preallocated at construction
+
+  // The offending shape: sizing the miss staging inside the hot batch
+  // path allocates on growth.
+  ANUFS_HOT void locate_many_alloc(const std::uint64_t* fps,
+                                   std::uint32_t n, Result* out) {
+    scratch_fps_.resize(n);  // expect-lint: H1
+    for (std::uint32_t i = 0; i < n; ++i) {
+      out[i].server = static_cast<std::uint32_t>(fps[i] ^ scratch_fps_[i]);
+    }
+  }
+
+  void gather_misses(const std::uint64_t* fps, std::uint32_t n) {
+    std::vector<std::uint64_t> misses;
+    for (std::uint32_t i = 0; i < n; ++i) misses.push_back(fps[i]);  // expect-lint: H1
+  }
+
+  // Transitive: the batch entry stays hot through its helper.
+  ANUFS_HOT void locate_many_transitive(const std::uint64_t* fps,
+                                        std::uint32_t n) {
+    gather_misses(fps, n);
+  }
+
+  // The clean shape: preallocated staging indexed in place.
+  ANUFS_HOT void locate_many_clean(const std::uint64_t* fps,
+                                   std::uint32_t n, Result* out) {
+    std::uint64_t* stage = scratch_fps_.data();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      stage[i] = fps[i];
+      out[i].server = static_cast<std::uint32_t>(stage[i] >> 32);
+    }
+  }
+};
+
+}  // namespace fixture
