@@ -5,9 +5,7 @@
 
 #include "common/check.h"
 #include "policies/anu_policy.h"
-#include "policies/prescient.h"
-#include "policies/round_robin.h"
-#include "policies/simple_random.h"
+#include "policies/registry.h"
 
 namespace anufs::bench {
 
@@ -21,30 +19,21 @@ cluster::ClusterConfig paper_cluster() {
 std::unique_ptr<policy::PlacementPolicy> make_policy(
     const std::string& name, const cluster::ClusterConfig& cluster,
     const workload::Workload& work, bool stationary_prescient) {
-  if (name == "simple-random") {
-    // Seed chosen (documented in EXPERIMENTS.md) so the random draw
-    // strands a hot file set on a weak server — the generic-over-time
-    // outcome the paper's simple-randomization figures illustrate.
-    return std::make_unique<policy::SimpleRandomPolicy>(/*seed=*/12);
+  policy::PolicyParams params;
+  // Seed chosen (documented in EXPERIMENTS.md) so simple-random's draw
+  // strands a hot file set on a weak server — the generic-over-time
+  // outcome the paper's simple-randomization figures illustrate. The
+  // other randomized policies (pow-d, jiq) just need any fixed seed.
+  params.seed = 12;
+  params.reconfig_period = cluster.reconfig_period;
+  params.workload = &work;
+  params.stationary_prescient = stationary_prescient;
+  for (std::uint32_t i = 0; i < cluster.server_speeds.size(); ++i) {
+    params.capacities[ServerId{i}] = cluster.server_speeds[i];
   }
-  if (name == "round-robin") {
-    return std::make_unique<policy::RoundRobinPolicy>();
-  }
-  if (name == "prescient") {
-    policy::PrescientConfig pc;
-    for (std::uint32_t i = 0; i < cluster.server_speeds.size(); ++i) {
-      pc.speeds[ServerId{i}] = cluster.server_speeds[i];
-    }
-    pc.mode = stationary_prescient
-                  ? policy::PrescientConfig::Mode::kStationary
-                  : policy::PrescientConfig::Mode::kLookAhead;
-    pc.period = cluster.reconfig_period;
-    return std::make_unique<policy::PrescientPolicy>(pc, work);
-  }
-  if (name == "anu") {
-    return std::make_unique<policy::AnuPolicy>(core::AnuConfig{});
-  }
-  ANUFS_EXPECTS(false && "unknown policy name");
+  const policy::PolicyInfo* info = policy::find_policy(name);
+  ANUFS_EXPECTS(info != nullptr && "unknown policy name");
+  return info->make(params);
 }
 
 cluster::RunResult run_policy(const std::string& name,

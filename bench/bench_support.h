@@ -19,11 +19,12 @@ namespace anufs::bench {
 /// two-minute reconfiguration period.
 [[nodiscard]] cluster::ClusterConfig paper_cluster();
 
-/// Policy factory. Names: "simple-random", "round-robin", "prescient",
-/// "anu". Prescient receives perfect knowledge of `cluster` speeds and
-/// of `work`; `stationary_prescient` selects its whole-trace mode (used
-/// for the stationary synthetic workload, where the paper's prescient
-/// "retains the same configuration for the duration").
+/// Policy factory: any registered policy name (src/policies/registry.h).
+/// Capacity-aware policies receive perfect knowledge of `cluster`
+/// speeds; prescient additionally of `work`, with `stationary_prescient`
+/// selecting its whole-trace mode (used for the stationary synthetic
+/// workload, where the paper's prescient "retains the same
+/// configuration for the duration").
 [[nodiscard]] std::unique_ptr<policy::PlacementPolicy> make_policy(
     const std::string& name, const cluster::ClusterConfig& cluster,
     const workload::Workload& work, bool stationary_prescient);

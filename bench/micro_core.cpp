@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/anu_system.h"
@@ -13,9 +14,12 @@
 #include "core/tuner.h"
 #include "hash/hash_family.h"
 #include "obs/trace.h"
+#include "policies/join_idle_queue.h"
+#include "policies/pow_d.h"
 #include "serve/snapshot.h"
 #include "sim/random.h"
 #include "sim/scheduler.h"
+#include "workload/spec.h"
 
 namespace {
 
@@ -308,6 +312,68 @@ void BM_MembershipChurn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MembershipChurn)->Arg(5)->Arg(64);
+
+// -------- policy-zoo decision paths (src/policies) --------
+
+/// The pow-d decision kernel alone: sample d of n and argmin the
+/// latency-weighted score. Arg = server count; d = 2.
+void BM_PowDChoose(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::vector<ServerId> servers;
+  std::vector<core::ServerReport> reports;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    servers.push_back(ServerId{i});
+    // Skewed latencies so the argmin is doing real work.
+    reports.push_back({ServerId{i}, 0.001 * (1.0 + i % 7), 100});
+  }
+  policy::DChoiceTable table;
+  table.reset(servers);
+  table.observe(reports, 0.5);
+  sim::Xoshiro256 rng = sim::make_stream(1, "bench-pow-d", 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.choose(rng, 2));
+  }
+}
+BENCHMARK(BM_PowDChoose)->Arg(5)->Arg(64)->Arg(512);
+
+/// n servers, 8n file sets, and a report round whose latency skew flips
+/// each call so every rebalance finds an overloaded server to shed.
+template <typename Policy, typename Config>
+void bench_zoo_rebalance(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Policy policy{Config{}};
+  std::vector<workload::FileSetSpec> sets;
+  for (std::uint32_t i = 0; i < 8 * n; ++i) {
+    sets.push_back(
+        workload::FileSetSpec::make(i, "fs" + std::to_string(i), 1.0));
+  }
+  std::vector<ServerId> servers;
+  for (std::uint32_t i = 0; i < n; ++i) servers.push_back(ServerId{i});
+  policy.initialize(sets, servers);
+  double now = 0.0;
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    std::vector<core::ServerReport> reports;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const bool hot = i % 2 == round % 2;
+      reports.push_back({ServerId{i}, hot ? 0.030 : 0.002, 100});
+    }
+    now += 120.0;
+    ++round;
+    benchmark::DoNotOptimize(policy.rebalance(now, reports));
+  }
+}
+
+void BM_PowDRebalance(benchmark::State& state) {
+  bench_zoo_rebalance<policy::PowerOfDChoicesPolicy, policy::PowDConfig>(
+      state);
+}
+BENCHMARK(BM_PowDRebalance)->Arg(5)->Arg(64);
+
+void BM_JiqRebalance(benchmark::State& state) {
+  bench_zoo_rebalance<policy::JoinIdleQueuePolicy, policy::JiqConfig>(state);
+}
+BENCHMARK(BM_JiqRebalance)->Arg(5)->Arg(64);
 
 // The observability layer's overhead contract (src/obs/trace.h): with
 // no sink installed a trace site is one thread-local load and a null

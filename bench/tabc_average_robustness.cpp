@@ -13,11 +13,16 @@
 // chases its own disturbance, while the request-count-weighted mean
 // discounts the transient and stays stable. A finding, not a bug — see
 // EXPERIMENTS.md.
+// A second, registry-driven grid extends the same robustness question
+// to every latency-driven policy (anu, anu-pairwise, prescient, pow-d,
+// jiq): does the policy's adaptivity survive the 5-10 s movement cost,
+// or does it chase its own disturbance?
 #include <iostream>
 
 #include "bench_support.h"
 #include "metrics/emit.h"
 #include "policies/anu_policy.h"
+#include "policies/registry.h"
 #include "workload/synthetic.h"
 
 int main(int argc, char** argv) {
@@ -61,6 +66,46 @@ int main(int argc, char** argv) {
   std::cout << "# expected: with free moves the two averages are\n"
                "# interchangeable (the paper's robustness claim); with\n"
                "# costed moves the count-weighted mean stays stable while\n"
-               "# the raw median chases its own movement transients.\n";
+               "# the raw median chases its own movement transients.\n\n";
+
+  // Second grid: every latency-driven policy from the registry, free
+  // vs costed moves. Cell i is (policy = i / 2, movement = i % 2).
+  std::vector<std::string> adaptive;
+  for (const policy::PolicyInfo& info : policy::registered_policies()) {
+    if (info.latency_driven) adaptive.emplace_back(info.name);
+  }
+  metrics::TableEmitter zoo(
+      std::cout, {"policy", "move_cost", "run_mean_ms", "moves",
+                  "worst_tail_ms"});
+  zoo.header(
+      "Table C (zoo): movement-cost robustness of every latency-driven "
+      "policy");
+  const std::vector<cluster::RunResult> zoo_results = bench::collect_parallel(
+      adaptive.size() * 2, bench::bench_jobs_from_args(argc, argv),
+      [&](std::size_t i) {
+        cluster::ClusterConfig cc = bench::paper_cluster();
+        cc.movement.enabled = i % 2 != 0;
+        const std::unique_ptr<policy::PlacementPolicy> pol =
+            bench::make_policy(adaptive[i / 2], cc, work,
+                               /*stationary_prescient=*/true);
+        cluster::ClusterSim sim(cc, work, *pol);
+        return sim.run();
+      });
+  for (std::size_t i = 0; i < zoo_results.size(); ++i) {
+    const cluster::RunResult& result = zoo_results[i];
+    double worst_tail = 0.0;
+    for (const std::string& label : result.latency_ms.labels()) {
+      worst_tail = std::max(worst_tail,
+                            result.latency_ms.at(label).tail_mean(0.5));
+    }
+    zoo.row({adaptive[i / 2], i % 2 != 0 ? "5-10s" : "free",
+             metrics::TableEmitter::num(result.mean_latency * 1e3),
+             std::to_string(result.moves),
+             metrics::TableEmitter::num(worst_tail)});
+  }
+  std::cout << "# reading guide: compare each policy's free vs costed\n"
+               "# rows — the ratio is how much of its run-mean is the\n"
+               "# movement bill rather than placement quality. See\n"
+               "# EXPERIMENTS.md Table C for the measured grid.\n";
   return 0;
 }

@@ -20,13 +20,9 @@
 #include "driver/scenario.h"
 #include "fault/fault_plan.h"
 #include "metrics/emit.h"
+#include "policies/registry.h"
 
 namespace {
-
-constexpr const char* kPolicies[] = {
-    "anu",           "anu-pairwise",  "prescient",      "round-robin",
-    "simple-random", "weighted-hash", "consistent-hash"};
-constexpr std::size_t kNumPolicies = std::size(kPolicies);
 
 anufs::driver::ScenarioConfig scenario_for(const std::string& policy,
                                            bool faulted) {
@@ -49,6 +45,7 @@ anufs::driver::ScenarioConfig scenario_for(const std::string& policy,
 
 int main(int argc, char** argv) {
   using namespace anufs;
+  const std::vector<std::string> policies = policy::registered_policy_names();
   metrics::TableEmitter table(std::cout,
                               {"policy", "recovery_s", "sets_moved", "lost",
                                "latency_ms", "baseline_ms", "disturb_x"});
@@ -58,13 +55,13 @@ int main(int argc, char** argv) {
 
   // Even indices run the faulted scenario, odd its no-fault baseline.
   const std::vector<cluster::RunResult> results = bench::collect_parallel(
-      kNumPolicies * 2, bench::bench_jobs_from_args(argc, argv),
+      policies.size() * 2, bench::bench_jobs_from_args(argc, argv),
       [&](std::size_t i) {
         return driver::run_scenario_quiet(
-            scenario_for(kPolicies[i / 2], /*faulted=*/i % 2 == 0));
+            scenario_for(policies[i / 2], /*faulted=*/i % 2 == 0));
       });
 
-  for (std::size_t p = 0; p < kNumPolicies; ++p) {
+  for (std::size_t p = 0; p < policies.size(); ++p) {
     const cluster::RunResult& faulted = results[2 * p];
     const cluster::RunResult& baseline = results[2 * p + 1];
     double recovery = 0.0;
@@ -75,7 +72,7 @@ int main(int argc, char** argv) {
     }
     const double faulted_ms = faulted.mean_latency * 1e3;
     const double baseline_ms = baseline.mean_latency * 1e3;
-    table.row({kPolicies[p], metrics::TableEmitter::num(recovery, 2),
+    table.row({policies[p], metrics::TableEmitter::num(recovery, 2),
                std::to_string(moved), std::to_string(faulted.lost),
                metrics::TableEmitter::num(faulted_ms, 2),
                metrics::TableEmitter::num(baseline_ms, 2),

@@ -27,6 +27,14 @@
 #                                               # scalar baselines) and merge
 #                                               # it as the `batch` group into
 #                                               # an existing BENCH_core.json
+#   ./scripts/bench.sh --policies               # re-measure only the policy-
+#                                               # zoo decision paths
+#                                               # (BM_PowDChoose,
+#                                               # BM_PowDRebalance,
+#                                               # BM_JiqRebalance) and merge
+#                                               # them as the `policies` group
+#                                               # into an existing
+#                                               # BENCH_core.json
 #
 # The sweep scenario is fixed (synthetic workload, 5 heterogeneous
 # servers, membership churn, 30 seeds, --jobs 1) so successive snapshots
@@ -44,6 +52,7 @@ MIN_TIME=0.5
 SWEEP="seed=1..30"
 CONTROL_ONLY=0
 BATCH_ONLY=0
+POLICIES_ONLY=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --out) OUT="$2"; shift 2 ;;
@@ -51,6 +60,7 @@ while [ $# -gt 0 ]; do
     --quick) MIN_TIME=0.05; SWEEP="seed=1..5"; shift ;;
     --control-plane) CONTROL_ONLY=1; shift ;;
     --batch) BATCH_ONLY=1; shift ;;
+    --policies) POLICIES_ONLY=1; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
@@ -196,6 +206,68 @@ if [ "$BATCH_ONLY" -eq 1 ]; then
   exit 0
 fi
 
+# jq fragment for the policy-zoo group: the pow-d sampling kernel at
+# three cluster sizes, plus a full rebalance round (reports -> EWMA ->
+# shed -> fresh placement draw) for each zoo policy at 5 and 64
+# servers. choose() is the per-placement inner loop, so it carries the
+# latency budget; the rebalance rounds are control-plane work and only
+# need to stay far under the reconfiguration period.
+JQ_POLICIES='
+  ($micro[0].benchmarks | map({(.name): {time_ns: .real_time,
+                                         cpu_ns: .cpu_time,
+                                         hit_rate: (.hit_rate // null)}})
+     | add) as $bench |
+  {
+    powd_choose_ns: {
+      "5":   $bench["BM_PowDChoose/5"].time_ns,
+      "64":  $bench["BM_PowDChoose/64"].time_ns,
+      "512": $bench["BM_PowDChoose/512"].time_ns
+    },
+    powd_rebalance_ns: {
+      "5":  $bench["BM_PowDRebalance/5"].time_ns,
+      "64": $bench["BM_PowDRebalance/64"].time_ns
+    },
+    jiq_rebalance_ns: {
+      "5":  $bench["BM_JiqRebalance/5"].time_ns,
+      "64": $bench["BM_JiqRebalance/64"].time_ns
+    }
+  } as $policies |
+'
+
+if [ "$POLICIES_ONLY" -eq 1 ]; then
+  echo "== build: default (micro_core only)"
+  cmake --preset default >/dev/null
+  cmake --build --preset default \
+    -j "${ANUFS_JOBS:-$(nproc 2>/dev/null || echo 2)}" \
+    --target micro_core >/dev/null
+  MICRO="$ROOT/build/bench/micro_core"
+  echo "== micro (policy-zoo group): $MICRO (min_time=${MIN_TIME}s)"
+  MICRO_JSON="$(mktemp)"
+  "$MICRO" --benchmark_format=json --benchmark_min_time="$MIN_TIME" \
+    --benchmark_filter='BM_PowD|BM_Jiq' \
+    >"$MICRO_JSON" 2>/dev/null
+  BASE='{"schema":"anufs-bench-v1"}'
+  if [ -f "$OUT" ]; then BASE="$(cat "$OUT")"; fi
+  TMP="$(mktemp)"
+  jq -n \
+    --slurpfile micro "$MICRO_JSON" \
+    --argjson base "$BASE" \
+    --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    --arg commit "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    "$JQ_POLICIES"'
+    $base * {
+      recorded_at: $date,
+      commit: $commit,
+      micro: (($base.micro // {}) + $bench),
+      policies: $policies
+    }' >"$TMP"
+  mv "$TMP" "$OUT"
+  rm -f "$MICRO_JSON"
+  echo "== merged policy-zoo group into $OUT"
+  jq '.policies' "$OUT"
+  exit 0
+fi
+
 echo "== build: default"
 cmake --preset default >/dev/null
 cmake --build --preset default -j "${ANUFS_JOBS:-$(nproc 2>/dev/null || echo 2)}" \
@@ -262,7 +334,7 @@ jq -n \
   --arg baseline_engine "$BASELINE_ENGINE" \
   --argjson sweep_seconds "$SWEEP_SECONDS" \
   --argjson baseline_seconds "$BASELINE_SECONDS" \
-  "$JQ_BENCH""$JQ_BATCH"'
+  "$JQ_BENCH""$JQ_BATCH""$JQ_POLICIES"'
   {
     schema: "anufs-bench-v1",
     recorded_at: $date,
@@ -278,6 +350,7 @@ jq -n \
     },
     control_plane: $control,
     batch: $batch,
+    policies: $policies,
     sweep: {
       scenario: "synthetic anu 5-server churn",
       sweep: $sweep,

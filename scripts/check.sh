@@ -33,6 +33,11 @@
 #             churn, every sample replayed sequentially; fails on zero
 #             throughput or any equivalence mismatch and logs the run's
 #             equivalence digest
+#   policy-smoke  replay one short seeded crash/recover scenario under
+#             the invariant auditor for EVERY policy in the registry
+#             (anufs_audit --policies all) — the tripwire for anyone
+#             adding a policy that runs in tests but breaks under the
+#             auditor, or that falls out of the registry wiring
 #
 # Tests carry ctest labels (unit | property | golden | stress |
 # bench-smoke | lint; see tests/CMakeLists.txt). default and sanitize
@@ -64,7 +69,7 @@ for arg in "$@"; do
   fi
 done
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(default trace-smoke retune-smoke batch-smoke serve-smoke static sanitize tsan lint)
+  STAGES=(default trace-smoke retune-smoke batch-smoke serve-smoke policy-smoke static sanitize tsan lint)
 fi
 
 for stage in "${STAGES[@]}"; do
@@ -140,6 +145,26 @@ for stage in "${STAGES[@]}"; do
       || { echo "serve-smoke: no lookups served" >&2; exit 1; }
     echo "$SERVE_OUT" | grep -Eq 'equivalence: .* digest [0-9a-f]+ -> OK' \
       || { echo "serve-smoke: missing equivalence digest" >&2; exit 1; }
+    continue
+  fi
+  if [ "$stage" = policy-smoke ]; then
+    # Needs the default preset built (runs after `default` in the full
+    # gate; standalone invocations build the one tool on demand).
+    echo "== policy-smoke"
+    if [ ! -x build/tools/anufs_audit ]; then
+      cmake --preset default
+      cmake --build --preset default -j "$JOBS" --target anufs_audit_cli
+    fi
+    POLICY_OUT="$(printf 'workload synthetic\nservers 1,3,5,7,9\nperiod 60\nduration 300\nrequests 2000\nfile_sets 40\nseed 7\nmovement on\nfail 120 4\nrecover 240 4\n' \
+      | build/tools/anufs_audit --policies all -)"
+    echo "$POLICY_OUT"
+    # Every registered policy must appear in the batch (pow-d and jiq
+    # named explicitly: they are the newest and easiest to lose), and
+    # the batch must have actually audited something.
+    for p in pow-d jiq anu; do
+      echo "$POLICY_OUT" | grep -q "policy=$p " \
+        || { echo "policy-smoke: policy $p missing from --policies all" >&2; exit 1; }
+    done
     continue
   fi
   echo "== configure: $stage"

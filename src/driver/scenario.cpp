@@ -16,13 +16,8 @@
 #include "fault/fault_injector.h"
 #include "metrics/emit.h"
 #include "obs/export.h"
-#include "policies/anu_policy.h"
+#include "policies/registry.h"
 #include "serve/lookup_service.h"
-#include "policies/consistent_hash.h"
-#include "policies/prescient.h"
-#include "policies/round_robin.h"
-#include "policies/simple_random.h"
-#include "policies/weighted_hash.h"
 #include "workload/dfstrace_like.h"
 #include "workload/op_workload.h"
 #include "workload/synthetic.h"
@@ -182,46 +177,34 @@ core::AnuConfig make_anu_config(const ScenarioConfig& c) {
 
 std::unique_ptr<policy::PlacementPolicy> build_policy(
     const ScenarioConfig& c, const workload::Workload& work) {
-  const core::AnuConfig anu_config = make_anu_config(c);
-  if (c.policy == "anu" || c.policy == "anu-pairwise") {
-    return std::make_unique<policy::AnuPolicy>(anu_config);
+  const policy::PolicyInfo* info = policy::find_policy(c.policy);
+  if (info == nullptr) {
+    // Scenario files reach parse-time validation first; this guards the
+    // programmatic ScenarioConfig path.
+    std::fprintf(stderr, "anufs-scenario: unknown policy '%s' (registered: %s)\n",
+                 c.policy.c_str(), policy::registered_policy_list().c_str());
+    std::abort();
   }
-  if (c.policy == "round-robin") {
-    return std::make_unique<policy::RoundRobinPolicy>();
-  }
-  if (c.policy == "simple-random") {
-    return std::make_unique<policy::SimpleRandomPolicy>(
-        c.seed > 0 ? c.seed : 1);
-  }
-  std::map<ServerId, double> caps;
+  policy::PolicyParams params;
+  params.seed = c.seed > 0 ? c.seed : 1;
+  params.anu = make_anu_config(c);
+  params.reconfig_period = c.cluster.reconfig_period;
+  params.workload = &work;
+  params.pow_d = c.pow_d;
   for (std::uint32_t i = 0; i < c.cluster.server_speeds.size(); ++i) {
-    caps[ServerId{i}] = c.cluster.server_speeds[i];
+    params.capacities[ServerId{i}] = c.cluster.server_speeds[i];
   }
   for (const MembershipEvent& e : c.events) {
     if (e.kind == MembershipEvent::Kind::kAdd) {
-      caps[ServerId{e.server}] = e.speed;
+      params.capacities[ServerId{e.server}] = e.speed;
     }
   }
   // Fault-plan additions commission servers too: capacity-aware
   // policies need their speeds known up front.
   for (const fault::AddEvent& e : c.faults.additions) {
-    caps[ServerId{e.server}] = e.speed;
+    params.capacities[ServerId{e.server}] = e.speed;
   }
-  if (c.policy == "prescient") {
-    policy::PrescientConfig pc;
-    pc.speeds = caps;
-    pc.period = c.cluster.reconfig_period;
-    return std::make_unique<policy::PrescientPolicy>(pc, work);
-  }
-  if (c.policy == "weighted-hash") {
-    return std::make_unique<policy::WeightedHashPolicy>(caps);
-  }
-  if (c.policy == "consistent-hash") {
-    return std::make_unique<policy::ConsistentHashPolicy>(caps);
-  }
-  std::fprintf(stderr, "anufs-scenario: unknown policy '%s'\n",
-               c.policy.c_str());
-  std::abort();
+  return info->make(params);
 }
 
 }  // namespace
@@ -254,6 +237,16 @@ ScenarioConfig parse_scenario(std::istream& is,
       }
     } else if (key == "policy") {
       config.policy = want("policy name");
+      if (policy::find_policy(config.policy) == nullptr) {
+        config_failure(ctx, "unknown policy '" + config.policy +
+                                "' (registered: " +
+                                policy::registered_policy_list() + ")");
+      }
+    } else if (key == "pow_d") {
+      config.pow_d = parse_u32(want("choices"), ctx, "pow_d");
+      if (config.pow_d < 1) {
+        config_failure(ctx, "pow_d must be >= 1 (d choices per decision)");
+      }
     } else if (key == "servers") {
       config.cluster.server_speeds = parse_speeds(want("speeds"), ctx);
     } else if (key == "period") {
@@ -374,6 +367,22 @@ ScenarioConfig parse_scenario(std::istream& is,
     } else {
       config_failure(ctx, "unknown key '" + key + "'");
     }
+  }
+  // Degenerate pow-d widths: more choices than the cluster has servers
+  // is well-defined (probe everyone) but almost certainly a typo, so
+  // warn and clamp to the initial size here; the policies additionally
+  // clamp to the ALIVE count at every decision, so membership churn can
+  // never make a configured d index outside the sampled set.
+  if (config.pow_d > 0 && !config.cluster.server_speeds.empty() &&
+      config.pow_d > config.cluster.server_speeds.size()) {
+    std::fprintf(stderr,
+                 "anufs-scenario: %s: pow_d %u exceeds the %zu-server "
+                 "cluster; clamping to %zu\n",
+                 source_name.c_str(), config.pow_d,
+                 config.cluster.server_speeds.size(),
+                 config.cluster.server_speeds.size());
+    config.pow_d =
+        static_cast<std::uint32_t>(config.cluster.server_speeds.size());
   }
   return config;
 }

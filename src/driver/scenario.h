@@ -5,8 +5,16 @@
 // Config format (line-oriented; '#' comments):
 //
 //   workload synthetic | dfstrace | opmix | trace <path>
-//   policy anu | prescient | round-robin | simple-random |
-//          weighted-hash | consistent-hash | anu-pairwise
+//   policy <name>              # any registered policy
+//                              # (src/policies/registry.h): anu,
+//                              #   anu-pairwise, prescient, round-robin,
+//                              #   simple-random, weighted-hash,
+//                              #   consistent-hash, pow-d, jiq; an
+//                              #   unknown name fails at parse time
+//                              #   listing the registered ones
+//   pow_d 2                    # pow-d/jiq probe width d (>= 1; values
+//                              #   above the cluster size clamp with a
+//                              #   warning)
 //   servers 1,3,5,7,9          # speeds; ids are 0..n-1
 //   period 120                 # reconfiguration seconds
 //   duration 10000             # overrides workload default
@@ -79,6 +87,10 @@ struct ScenarioConfig {
   std::uint64_t requests = 0;
   std::uint32_t file_sets = 0;
   std::uint64_t seed = 0;
+  /// pow-d / jiq probe width (scenario key `pow_d`); 0 keeps the policy
+  /// default. Validated >= 1 and clamped to the cluster size at parse
+  /// time; clamped to the alive count at every decision.
+  std::uint32_t pow_d = 0;
   // ANU knobs.
   double threshold = -1.0;   // <0 = default
   bool auto_threshold = false;

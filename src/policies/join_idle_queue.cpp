@@ -1,0 +1,154 @@
+#include "policies/join_idle_queue.h"
+
+#include <algorithm>
+
+namespace anufs::policy {
+
+namespace {
+
+double round_average(const std::vector<core::ServerReport>& reports) {
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const core::ServerReport& r : reports) {
+    if (r.requests == 0) continue;
+    weighted += r.mean_latency * static_cast<double>(r.requests);
+    total += static_cast<double>(r.requests);
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+}  // namespace
+
+JoinIdleQueuePolicy::JoinIdleQueuePolicy(JiqConfig config) : config_(config) {
+  ANUFS_EXPECTS(config_.d >= 1);
+  ANUFS_EXPECTS(config_.idle_factor > 0.0 && config_.idle_factor < 1.0);
+  ANUFS_EXPECTS(config_.overload_factor > 1.0);
+  ANUFS_EXPECTS(config_.shed_fraction > 0.0 && config_.shed_fraction <= 1.0);
+}
+
+ServerId JoinIdleQueuePolicy::take_target(sim::Xoshiro256& rng) {
+  if (!idle_.empty()) {
+    // Among announced-idle servers take the fastest (lowest latency
+    // EWMA; unknown counts as fastest via the floor), ties to lowest
+    // id. One placement retires the announcement, as in JIQ.
+    std::size_t best = 0;
+    double best_lat = table_.effective_latency(idle_[0]);
+    for (std::size_t i = 1; i < idle_.size(); ++i) {
+      const double lat = table_.effective_latency(idle_[i]);
+      if (lat < best_lat) {  // idle_ is id-sorted, so ties keep lowest id
+        best = i;
+        best_lat = lat;
+      }
+    }
+    const ServerId id = idle_[best];
+    idle_.erase(idle_.begin() + static_cast<std::ptrdiff_t>(best));
+    return id;
+  }
+  return table_.choose(rng, config_.d);
+}
+
+void JoinIdleQueuePolicy::drop_idle(ServerId id) {
+  const auto it = std::lower_bound(idle_.begin(), idle_.end(), id);
+  if (it != idle_.end() && *it == id) idle_.erase(it);
+}
+
+void JoinIdleQueuePolicy::initialize(
+    const std::vector<workload::FileSetSpec>& file_sets,
+    const std::vector<ServerId>& servers) {
+  ANUFS_EXPECTS(!servers.empty());
+  file_sets_ = file_sets;
+  set_servers(servers);
+  table_.reset(servers_);
+  // Before any request every server is trivially idle: the first n
+  // placements deal one set to each server, then pow-d takes over.
+  idle_ = servers_;
+  sim::Xoshiro256 rng = sim::make_stream(config_.seed, "jiq", draws_++);
+  std::map<FileSetId, ServerId> next;
+  for (const workload::FileSetSpec& fs : file_sets_) {
+    const ServerId to = take_target(rng);
+    next[fs.id] = to;
+    table_.credit(to, +1);
+  }
+  assignment_ = std::move(next);
+  commit_assignment();
+}
+
+std::vector<Move> JoinIdleQueuePolicy::rebalance(
+    sim::SimTime /*now*/, const std::vector<core::ServerReport>& reports) {
+  table_.observe(reports, /*smoothing=*/0.5);
+  const double average = round_average(reports);
+  // Rebuild the idle list from this round's announcements. With no
+  // completed requests anywhere there is no average to compare against,
+  // so every reporting server counts as idle.
+  idle_.clear();
+  for (const core::ServerReport& r : reports) {
+    if (!table_.contains(r.id)) continue;  // crashed-undetected reporter
+    if (r.requests == 0 ||
+        (average > 0.0 && r.mean_latency < config_.idle_factor * average)) {
+      idle_.push_back(r.id);
+    }
+  }
+  std::sort(idle_.begin(), idle_.end());
+  if (average <= 0.0) return {};  // idle round: nobody is overloaded
+  sim::Xoshiro256 rng = sim::make_stream(config_.seed, "jiq", draws_++);
+  std::map<FileSetId, ServerId> next = assignment_;
+  bool changed = false;
+  for (const core::ServerReport& r : reports) {
+    if (r.requests == 0 || !table_.contains(r.id)) continue;
+    if (r.mean_latency <= config_.overload_factor * average) continue;
+    const std::uint32_t count = table_.sets_of(r.id);
+    if (count == 0) continue;
+    const auto shed = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(static_cast<double>(count) *
+                                      config_.shed_fraction));
+    const std::uint32_t stride = (count + shed - 1) / shed;
+    std::uint32_t seen = 0;
+    std::uint32_t moved = 0;
+    for (const auto& [fs, owner] : assignment_) {
+      if (owner != r.id) continue;
+      const bool selected = seen % stride == 0 && moved < shed;
+      ++seen;
+      if (!selected) continue;
+      ++moved;
+      const ServerId to = take_target(rng);
+      if (to == r.id) continue;
+      next[fs] = to;
+      table_.credit(r.id, -1);
+      table_.credit(to, +1);
+      changed = true;
+    }
+  }
+  if (!changed) return {};
+  return apply_assignment(next);
+}
+
+std::vector<Move> JoinIdleQueuePolicy::on_server_failed(ServerId id) {
+  remove_server_id(id);
+  ANUFS_EXPECTS(!servers_.empty());
+  table_.remove(id);
+  drop_idle(id);
+  sim::Xoshiro256 rng = sim::make_stream(config_.seed, "jiq", draws_++);
+  std::vector<Move> moves;
+  for (auto& [fs, owner] : assignment_) {
+    if (owner != id) continue;
+    const ServerId to = take_target(rng);
+    table_.credit(to, +1);
+    moves.push_back(Move{fs, id, to});
+    owner = to;
+  }
+  commit_assignment();
+  return moves;
+}
+
+std::vector<Move> JoinIdleQueuePolicy::on_server_added(ServerId id) {
+  add_server_id(id);
+  table_.add(id);
+  // A commissioned server starts idle by definition: announce it so the
+  // next placements (failure re-homes, sheds) go there first.
+  const auto it = std::lower_bound(idle_.begin(), idle_.end(), id);
+  ANUFS_EXPECTS(it == idle_.end() || *it != id);
+  idle_.insert(it, id);
+  return {};
+}
+
+}  // namespace anufs::policy

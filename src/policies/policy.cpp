@@ -10,10 +10,20 @@ std::vector<Move> AssignmentPolicyBase::apply_assignment(
     const std::map<FileSetId, ServerId>& next) {
   ANUFS_EXPECTS(next.size() == assignment_.size() || assignment_.empty());
   std::vector<Move> moves;
+  const bool initial = assignment_.empty();
+  auto prev = assignment_.cbegin();
   for (const auto& [fs, to] : next) {
-    const auto it = assignment_.find(fs);
-    if (it == assignment_.end()) continue;  // initial assignment: no move
-    if (it->second != to) moves.push_back(Move{fs, it->second, to});
+    if (initial) continue;  // initial assignment: no move
+    // Lockstep walk over two same-size ordered maps: any key mismatch
+    // means `next` changed the file-set population, which would leave a
+    // kInvalidServer hole in the routing table that only aborts much
+    // later, at request time, far from the bug. Catch it here instead
+    // (size equality alone cannot — a dropped+added id pair preserves
+    // the size while breaking the key set).
+    ANUFS_EXPECTS(prev->first == fs &&
+                  "apply_assignment must preserve the file-set key set");
+    if (prev->second != to) moves.push_back(Move{fs, prev->second, to});
+    ++prev;
   }
   assignment_ = next;
   commit_assignment();
@@ -30,6 +40,12 @@ void AssignmentPolicyBase::commit_assignment() {
   const std::size_t size = assignment_.empty() ? 0 : std::size_t{max_id} + 1;
   owner_table_.assign(size, kInvalidServer);
   for (const auto& [fs, owner] : assignment_) {
+    // A policy must never PUBLISH an unassigned file set: routing
+    // answers from this table, and a hole here becomes an owner() abort
+    // at some later request with no hint of which mutation caused it.
+    // Re-homing therefore happens in place, before the commit (see
+    // simple_random.cpp's on_server_failed for the pattern).
+    ANUFS_ENSURES(owner != kInvalidServer);
     owner_table_[fs.value] = owner;
   }
 }

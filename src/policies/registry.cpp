@@ -1,0 +1,131 @@
+#include "policies/registry.h"
+
+#include "policies/anu_policy.h"
+#include "policies/consistent_hash.h"
+#include "policies/join_idle_queue.h"
+#include "policies/pow_d.h"
+#include "policies/prescient.h"
+#include "policies/round_robin.h"
+#include "policies/simple_random.h"
+#include "policies/weighted_hash.h"
+
+namespace anufs::policy {
+
+namespace {
+
+std::unique_ptr<PlacementPolicy> make_anu(const PolicyParams& p) {
+  return std::make_unique<AnuPolicy>(p.anu);
+}
+
+std::unique_ptr<PlacementPolicy> make_anu_pairwise(const PolicyParams& p) {
+  core::AnuConfig config = p.anu;
+  config.mode = core::TunerMode::kDecentralizedPairwise;
+  return std::make_unique<AnuPolicy>(config);
+}
+
+std::unique_ptr<PlacementPolicy> make_prescient(const PolicyParams& p) {
+  ANUFS_EXPECTS(p.workload != nullptr);
+  ANUFS_EXPECTS(!p.capacities.empty());
+  PrescientConfig pc;
+  pc.speeds = p.capacities;
+  pc.period = p.reconfig_period;
+  pc.mode = p.stationary_prescient ? PrescientConfig::Mode::kStationary
+                                   : PrescientConfig::Mode::kLookAhead;
+  return std::make_unique<PrescientPolicy>(pc, *p.workload);
+}
+
+std::unique_ptr<PlacementPolicy> make_round_robin(const PolicyParams&) {
+  return std::make_unique<RoundRobinPolicy>();
+}
+
+std::unique_ptr<PlacementPolicy> make_simple_random(const PolicyParams& p) {
+  return std::make_unique<SimpleRandomPolicy>(p.seed);
+}
+
+std::unique_ptr<PlacementPolicy> make_weighted_hash(const PolicyParams& p) {
+  ANUFS_EXPECTS(!p.capacities.empty());
+  return std::make_unique<WeightedHashPolicy>(p.capacities);
+}
+
+std::unique_ptr<PlacementPolicy> make_consistent_hash(const PolicyParams& p) {
+  ANUFS_EXPECTS(!p.capacities.empty());
+  return std::make_unique<ConsistentHashPolicy>(p.capacities);
+}
+
+std::unique_ptr<PlacementPolicy> make_pow_d(const PolicyParams& p) {
+  PowDConfig config;
+  config.seed = p.seed;
+  if (p.pow_d > 0) config.d = p.pow_d;
+  return std::make_unique<PowerOfDChoicesPolicy>(config);
+}
+
+std::unique_ptr<PlacementPolicy> make_jiq(const PolicyParams& p) {
+  JiqConfig config;
+  config.seed = p.seed;
+  if (p.pow_d > 0) config.d = p.pow_d;
+  return std::make_unique<JoinIdleQueuePolicy>(config);
+}
+
+}  // namespace
+
+const std::vector<PolicyInfo>& registered_policies() {
+  // Order: the paper's comparison set first (as fig8 has always listed
+  // them), then the hash-family statics, then the randomized zoo.
+  //                       name        summary
+  //                       latency  caps   work   exact
+  static const std::vector<PolicyInfo> kRegistry = {
+      {"anu", "the paper's adaptive non-uniform randomization",
+       true, false, false, false, &make_anu},
+      {"anu-pairwise", "ANU with decentralized pairwise tuning",
+       true, false, false, false, &make_anu_pairwise},
+      {"prescient", "upper bound: perfect workload + capacity knowledge",
+       true, true, true, false, &make_prescient},
+      {"round-robin", "static uniform dealing",
+       false, false, false, true, &make_round_robin},
+      {"simple-random", "static one-choice randomization",
+       false, false, false, true, &make_simple_random},
+      {"weighted-hash", "static capacity-proportional hashing (SIEVE)",
+       false, true, false, false, &make_weighted_hash},
+      {"consistent-hash", "static capacity-weighted hash ring",
+       false, true, false, true, &make_consistent_hash},
+      {"pow-d", "power-of-d choices, latency-weighted (Mukhopadhyay)",
+       true, false, false, true, &make_pow_d},
+      {"jiq", "join-idle-queue with pow-d fallback (Gardner)",
+       true, false, false, true, &make_jiq},
+  };
+  return kRegistry;
+}
+
+const PolicyInfo* find_policy(std::string_view name) {
+  for (const PolicyInfo& info : registered_policies()) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> registered_policy_names() {
+  std::vector<std::string> names;
+  names.reserve(registered_policies().size());
+  for (const PolicyInfo& info : registered_policies()) {
+    names.emplace_back(info.name);
+  }
+  return names;
+}
+
+std::string registered_policy_list() {
+  std::string joined;
+  for (const PolicyInfo& info : registered_policies()) {
+    if (!joined.empty()) joined += ", ";
+    joined += info.name;
+  }
+  return joined;
+}
+
+std::unique_ptr<PlacementPolicy> make_registered_policy(
+    std::string_view name, const PolicyParams& params) {
+  const PolicyInfo* info = find_policy(name);
+  ANUFS_EXPECTS(info != nullptr && "unknown policy name");
+  return info->make(params);
+}
+
+}  // namespace anufs::policy

@@ -1,0 +1,88 @@
+// The policy registry: the single source of truth for which placement
+// policies exist and how to build one from a scenario's knobs.
+//
+// Before this existed, policy construction was a hard-coded if/else
+// chain in driver/scenario.cpp with PARALLEL hard-coded name lists in
+// tools/anufs_audit.cpp (--policies all), bench/bench_support.cpp, and
+// the test suites — a policy added in one place silently vanished from
+// the others. Now every consumer enumerates or constructs through this
+// table; adding a policy is one entry here and nothing else.
+//
+// The table is a static constant (no dynamic registration): the set of
+// policies is a compile-time property of the binary, registration-order
+// nondeterminism is impossible, and the list doubles as documentation.
+// Entries carry the metadata the consumers branch on — whether a policy
+// reacts to latency reports (bench sweeps that study adaptivity),
+// whether it needs administrator capacity knowledge, and whether its
+// failure re-homing is exact (the conformance suite's contract).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/anu_system.h"
+#include "policies/policy.h"
+
+namespace anufs::policy {
+
+/// Everything a factory might need, in one bag. Consumers fill what
+/// they have; each factory takes what it needs (and asserts on a
+/// genuinely missing requirement, e.g. prescient without a workload).
+struct PolicyParams {
+  /// Randomized policies (simple-random, pow-d, jiq) draw their streams
+  /// from this seed.
+  std::uint64_t seed = 1;
+  /// ANU-family tuner knobs ("anu-pairwise" overrides the mode itself).
+  core::AnuConfig anu;
+  /// Administrator speed knowledge, for the policies that require it
+  /// (prescient, weighted-hash, consistent-hash — see needs_capacities).
+  std::map<ServerId, double> capacities;
+  /// The cluster's reconfiguration period (prescient's window length).
+  double reconfig_period = 120.0;
+  /// The full workload, for prescient's look-ahead. Not owned; must
+  /// outlive the policy.
+  const workload::Workload* workload = nullptr;
+  /// Prescient only: pack once from whole-trace knowledge instead of
+  /// re-packing per window.
+  bool stationary_prescient = false;
+  /// pow-d / jiq probe width override; 0 keeps each policy's default.
+  std::uint32_t pow_d = 0;
+};
+
+struct PolicyInfo {
+  const char* name;
+  const char* summary;
+  /// rebalance() reacts to latency reports (vs. a static policy).
+  bool latency_driven;
+  /// Requires PolicyParams::capacities (administrator speed knowledge).
+  bool needs_capacities;
+  /// Requires PolicyParams::workload (prescience).
+  bool needs_workload;
+  /// on_server_failed(v) moves exactly v's file sets. False for the
+  /// policies with a documented ripple (ANU's half-occupancy cascade,
+  /// hash re-proportioning) — those must still clear the victim.
+  bool exact_rehoming;
+  std::unique_ptr<PlacementPolicy> (*make)(const PolicyParams&);
+};
+
+/// Every registered policy, in stable (paper-then-zoo) order.
+[[nodiscard]] const std::vector<PolicyInfo>& registered_policies();
+
+/// Lookup by name(); nullptr when unknown.
+[[nodiscard]] const PolicyInfo* find_policy(std::string_view name);
+
+/// The names, in registry order (sweep drivers, --policies all).
+[[nodiscard]] std::vector<std::string> registered_policy_names();
+
+/// Comma-joined names for diagnostics ("unknown policy ... registered:").
+[[nodiscard]] std::string registered_policy_list();
+
+/// Construct by name; asserts the name is registered (callers that
+/// handle unknown names gracefully go through find_policy first).
+[[nodiscard]] std::unique_ptr<PlacementPolicy> make_registered_policy(
+    std::string_view name, const PolicyParams& params);
+
+}  // namespace anufs::policy

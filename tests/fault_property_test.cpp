@@ -19,6 +19,7 @@
 #include "driver/parallel_runner.h"
 #include "driver/scenario.h"
 #include "fault/fault_plan.h"
+#include "policies/registry.h"
 #include "sim/thread_pool.h"
 
 namespace anufs::driver {
@@ -155,9 +156,9 @@ TEST(FaultProperty, AllPoliciesReplayCrashRecoverAuditClean) {
       "recover 240 4\n"
       "limp 60 180 1 0.5\n");
 
-  const std::vector<std::string> policies = {
-      "anu",           "anu-pairwise",  "prescient",      "round-robin",
-      "simple-random", "weighted-hash", "consistent-hash"};
+  // Every registered policy rides through the same crash/recover/limp
+  // plan — a policy added to the registry is in this replay for free.
+  const std::vector<std::string> policies = policy::registered_policy_names();
   std::vector<ScenarioConfig> runs;
   for (const std::string& policy : policies) {
     ScenarioConfig config = fault_scenario(policy, 42);
@@ -177,6 +178,43 @@ TEST(FaultProperty, AllPoliciesReplayCrashRecoverAuditClean) {
         results[i], recovery_deadline(plan, runs[i].cluster.movement));
   }
   EXPECT_GT(core::InvariantAuditor::audits_performed(), audits_before);
+}
+
+TEST(FaultProperty, ZooPoliciesRandomPlansKeepLedger) {
+  // The randomized-zoo policies (pow-d, jiq) under the full 200+ random
+  // fault plans: their d-choice / idle-list re-homing must keep the
+  // request ledger conserved and finish every crash episode within the
+  // movement budget, exactly like ANU in RandomPlansKeepEveryInvariant.
+  // (They drive no RegionMap, so the auditor has nothing to check here;
+  // conservation and the recovery deadline are the contract.)
+  fault::RandomPlanConfig plan_config;
+  std::vector<ScenarioConfig> runs;
+  std::vector<fault::FaultPlan> plans;
+  for (const char* policy : {"pow-d", "jiq"}) {
+    for (std::uint64_t seed = 1; seed <= kPlanSeeds; ++seed) {
+      fault::FaultPlan plan = make_random_plan(plan_config, seed);
+      ScenarioConfig config = fault_scenario(policy, seed);
+      config.faults = plan;
+      runs.push_back(std::move(config));
+      plans.push_back(std::move(plan));
+    }
+  }
+  const std::vector<cluster::RunResult> results =
+      run_parallel(runs, sim::ThreadPool::hardware_jobs());
+
+  ASSERT_EQ(results.size(), runs.size());
+  std::uint64_t episodes = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    SCOPED_TRACE(runs[i].policy + " plan seed " +
+                 std::to_string(i % kPlanSeeds + 1) + ":\n" +
+                 fault::to_text(plans[i]));
+    expect_conserved(results[i]);
+    expect_recoveries_within(
+        results[i],
+        recovery_deadline(plans[i], runs[i].cluster.movement));
+    episodes += results[i].recoveries.size();
+  }
+  EXPECT_GT(episodes, kPlanSeeds / 2);  // both policies saw real crashes
 }
 
 TEST(FaultProperty, SamePlanBitIdenticalAcrossJobsCounts) {

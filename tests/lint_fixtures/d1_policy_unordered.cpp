@@ -1,0 +1,38 @@
+// D1 fixture: a placement policy iterating an unordered map to build
+// its assignment must be rejected — hash-table order would leak into
+// the Move record and break bit-identical replays across jobs counts,
+// exactly the determinism contract the policy-conformance suite checks
+// (tests/policy_conformance_test.cpp). A zoo policy written this way
+// never reaches the registry. NOT compiled — scanned by anufs_lint only.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct PolicyMove {
+  std::uint32_t file_set;
+  std::uint32_t from;
+  std::uint32_t to;
+};
+
+class UnorderedZooPolicy {
+ public:
+  std::vector<PolicyMove> on_server_failed(std::uint32_t victim) {
+    std::vector<PolicyMove> moves;
+    // The re-homing walk the shipped policies do over std::map — done
+    // over an unordered container the move ORDER depends on the hash
+    // seed, so two replays of the same seed diverge.
+    for (auto& [fs, owner] : assignment_) {  // expect-lint: D1
+      if (owner != victim) continue;
+      owner = fs % 3;
+      moves.push_back({fs, victim, owner});
+    }
+    return moves;
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint32_t> assignment_;
+};
+
+}  // namespace fixture

@@ -5,6 +5,8 @@
 
 #include <sstream>
 
+#include "policies/registry.h"
+
 namespace anufs::driver {
 namespace {
 
@@ -124,17 +126,39 @@ seed 3
 }
 
 TEST(ScenarioRun, EveryPolicyRuns) {
-  for (const char* policy :
-       {"anu", "anu-pairwise", "prescient", "round-robin", "simple-random",
-        "weighted-hash", "consistent-hash"}) {
+  // Enumerated from the registry: a policy registered there is runnable
+  // from a scenario by definition, with no list here to update.
+  for (const std::string& policy : policy::registered_policy_names()) {
     const ScenarioConfig c = parse_scenario_text(
-        std::string("workload synthetic\nrequests 2000\nduration 400\n"
-                    "file_sets 20\npolicy ") +
+        "workload synthetic\nrequests 2000\nduration 400\n"
+        "file_sets 20\npolicy " +
         policy + "\n");
     std::ostringstream os;
     const cluster::RunResult r = run_scenario(c, os);
     EXPECT_GT(r.completed, 1000u) << policy;
   }
+}
+
+TEST(ScenarioParseDeathTest, UnknownPolicyListsRegisteredNames) {
+  // The diagnostic must carry source:line and the full registry, so a
+  // typo'd scenario tells the operator what IS available.
+  EXPECT_DEATH((void)parse_scenario_text("policy frobnicate\n"),
+               "<inline>:1: unknown policy 'frobnicate' \\(registered: anu");
+}
+
+TEST(ScenarioParseDeathTest, PowDZeroRejected) {
+  EXPECT_DEATH((void)parse_scenario_text("pow_d 0\n"), "pow_d must be >= 1");
+}
+
+TEST(ScenarioParse, PowDParsesAndClampsToClusterSize) {
+  const ScenarioConfig c =
+      parse_scenario_text("policy pow-d\nservers 1,3,5,7,9\npow_d 3\n");
+  EXPECT_EQ(c.pow_d, 3u);
+  // More choices than servers is well-defined (probe everyone) but
+  // clamps with a warning rather than carrying a lie forward.
+  const ScenarioConfig clamped =
+      parse_scenario_text("policy jiq\nservers 1,3\npow_d 64\n");
+  EXPECT_EQ(clamped.pow_d, 2u);
 }
 
 TEST(ScenarioRun, MembershipScriptExecutes) {

@@ -32,30 +32,36 @@
 #include "driver/parallel_runner.h"
 #include "driver/scenario.h"
 #include "fault/fault_plan.h"
+#include "policies/registry.h"
 
 namespace {
-
-constexpr const char* kAllPolicies[] = {
-    "anu",           "anu-pairwise",  "prescient",      "round-robin",
-    "simple-random", "weighted-hash", "consistent-hash"};
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--jobs N] [--sweep seed=A..B] [--faults plan] "
-               "[--policies p1,p2|all] <scenario.conf | ->\n",
-               argv0);
+               "[--policies p1,p2|all] <scenario.conf | ->\n"
+               "registered policies: %s\n",
+               argv0, anufs::policy::registered_policy_list().c_str());
   std::exit(2);
 }
 
-std::vector<std::string> split_policies(const std::string& spec) {
+std::vector<std::string> split_policies(const std::string& spec,
+                                        const char* argv0) {
+  // "all" means exactly what the registry says it means — no parallel
+  // hand-maintained list to fall out of sync.
   if (spec == "all") {
-    return {std::begin(kAllPolicies), std::end(kAllPolicies)};
+    return anufs::policy::registered_policy_names();
   }
   std::vector<std::string> out;
   std::stringstream ss(spec);
   std::string item;
   while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(item);
+    if (item.empty()) continue;
+    if (anufs::policy::find_policy(item) == nullptr) {
+      std::fprintf(stderr, "unknown policy '%s'\n", item.c_str());
+      usage(argv0);
+    }
+    out.push_back(item);
   }
   return out;
 }
@@ -114,7 +120,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> policies = {config.policy};
   if (!policies_override.empty()) {
-    policies = split_policies(policies_override);
+    policies = split_policies(policies_override, argv[0]);
     if (policies.empty()) usage(argv[0]);
   }
 

@@ -45,8 +45,10 @@ namespace {
 
 constexpr const char* kExample = R"(# anufs_sim scenario
 workload synthetic        # synthetic | dfstrace | opmix | trace <path>
-policy anu                # anu | anu-pairwise | prescient | round-robin |
-                          # simple-random | weighted-hash | consistent-hash
+policy anu                # any registered policy (anu | anu-pairwise |
+                          # prescient | round-robin | simple-random |
+                          # weighted-hash | consistent-hash | pow-d | jiq)
+# pow_d 2                 # pow-d sample width (>=1; clamps to cluster)
 servers 1,3,5,7,9         # relative speeds; ids 0..n-1
 period 120                # reconfiguration period, seconds
 seed 42
